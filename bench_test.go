@@ -1,0 +1,481 @@
+// Benchmarks regenerating every figure and table of the reproduction; see
+// EXPERIMENTS.md for the mapping to the paper's claims. Simulated-platform
+// costs are reported both as Go wall time (ns/op) and, where meaningful,
+// as deterministic retired-instruction counts (instrs/op metric), which is
+// the unit the overhead tables use.
+package softsec
+
+import (
+	"testing"
+
+	"softsec/internal/asm"
+	"softsec/internal/attack"
+	"softsec/internal/bytecode"
+	"softsec/internal/core"
+	"softsec/internal/cpu"
+	"softsec/internal/figures"
+	"softsec/internal/kernel"
+	"softsec/internal/minc"
+	"softsec/internal/pma"
+	"softsec/internal/securecomp"
+	"softsec/internal/sfi"
+)
+
+// kernelSource is the compute kernel for the overhead table (T2): a loop
+// with one function call, one array write, and one array read per
+// iteration, so canaries (per call) and bounds checks (per access) both
+// show up.
+const kernelSource = `
+int step(int i) {
+	char tmp[8];
+	tmp[i % 8] = i;
+	return tmp[i % 8];
+}
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 500; i++) {
+		acc = acc + step(i);
+	}
+	return acc & 0xFF;
+}`
+
+func buildKernelProc(b *testing.B, opt minc.Options, cfg kernel.Config) *kernel.Process {
+	b.Helper()
+	img, err := minc.Compile("kern", kernelSource, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := kernel.Load(ld, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// runOverhead measures the kernel under one compiler/platform config,
+// reporting retired instructions per run.
+func runOverhead(b *testing.B, opt minc.Options, cfg kernel.Config) {
+	b.Helper()
+	var steps uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := buildKernelProc(b, opt, cfg)
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+		steps = p.CPU.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/op")
+}
+
+// --- T2: run-time overhead of the countermeasures ----------------------
+
+func BenchmarkOverheadBaseline(b *testing.B) {
+	runOverhead(b, minc.Options{}, kernel.Config{DEP: true})
+}
+
+func BenchmarkOverheadCanary(b *testing.B) {
+	runOverhead(b, minc.Options{Canary: true}, kernel.Config{DEP: true, CanarySeed: 7})
+}
+
+func BenchmarkOverheadChecked(b *testing.B) {
+	runOverhead(b, minc.Options{BoundsCheck: true},
+		kernel.Config{DEP: true, CheckedLibc: true})
+}
+
+func BenchmarkOverheadCanaryChecked(b *testing.B) {
+	runOverhead(b, minc.Options{Canary: true, BoundsCheck: true},
+		kernel.Config{DEP: true, CanarySeed: 7, CheckedLibc: true})
+}
+
+// BenchmarkOverheadASLR: ASLR costs at load time, not at run time — the
+// instrs/op metric stays at baseline while load does extra work.
+func BenchmarkOverheadASLR(b *testing.B) {
+	runOverhead(b, minc.Options{}, kernel.Config{DEP: true, ASLR: true, ASLRSeed: 3})
+}
+
+// sfiKernel is the T2 row for software fault isolation: the same loop
+// shape written in the SFI toolchain dialect, before and after masking.
+const sfiKernel = `
+	.text
+	.global main
+main:
+	mov esi, 0
+	mov ecx, 0
+loop:
+	cmp esi, 500
+	jae done
+	mov ebx, 0x00400000
+	storew [ebx], esi
+	loadw edx, [ebx]
+	add ecx, edx
+	add esi, 1
+	jmp loop
+done:
+	mov ebx, ecx
+	and ebx, 0xFF
+	mov eax, 1
+	int 0x80
+`
+
+func runSFIKernel(b *testing.B, masked bool) {
+	b.Helper()
+	src := sfiKernel
+	sb := sfi.Sandbox{Base: 0x00400000, Size: 0x1000}
+	if masked {
+		var err error
+		src, err = sfi.Rewrite(sfiKernel, sb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		img, err := asm.Assemble("plugin", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ld, err := kernel.Link(kernel.Libc(), img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := kernel.Load(ld, kernel.Config{DEP: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Mem.Map(0x00400000, 0x2000, 3); err != nil {
+			b.Fatal(err)
+		}
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+		steps = p.CPU.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/op")
+}
+
+func BenchmarkOverheadSFIOff(b *testing.B) { runSFIKernel(b, false) }
+func BenchmarkOverheadSFIOn(b *testing.B)  { runSFIKernel(b, true) }
+
+// Bytecode VM interpretation penalty (Section IV-A disadvantage 1): the
+// sum kernel in bytecode vs natively compiled MinC.
+func BenchmarkOverheadBytecodeVM(b *testing.B) {
+	sum := &bytecode.Module{
+		Name:   "k",
+		Fields: map[string]uint32{},
+		Methods: map[string]*bytecode.Method{
+			"sum": {Name: "sum", Public: true, NArgs: 1, NLoc: 2,
+				Code: []bytecode.Instr{
+					{Op: bytecode.LoadLocal, A: 1},
+					{Op: bytecode.LoadLocal, A: 0},
+					{Op: bytecode.CmpLt},
+					{Op: bytecode.Jz, A: 13},
+					{Op: bytecode.LoadLocal, A: 2},
+					{Op: bytecode.LoadLocal, A: 1},
+					{Op: bytecode.Add},
+					{Op: bytecode.StoreLocal, A: 2},
+					{Op: bytecode.LoadLocal, A: 1},
+					{Op: bytecode.Push, A: 1},
+					{Op: bytecode.Add},
+					{Op: bytecode.StoreLocal, A: 1},
+					{Op: bytecode.Jmp, A: 0},
+					{Op: bytecode.LoadLocal, A: 2},
+					{Op: bytecode.Ret},
+				}},
+		},
+	}
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		vm := bytecode.NewVM(sum)
+		v, err := vm.Invoke("k", "sum", 500)
+		if err != nil || v != 124750 {
+			b.Fatalf("%d %v", v, err)
+		}
+		steps = vm.Steps
+	}
+	b.ReportMetric(float64(steps), "bytecodes/op")
+}
+
+func BenchmarkOverheadNativeSum(b *testing.B) {
+	runOverhead(b, minc.Options{}, kernel.Config{DEP: true})
+}
+
+// --- T4/F3: the cost of a protected-module entry ------------------------
+
+const vaultSrc = `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+int get_secret(int provided_pin) {
+	if (tries_left > 0) {
+		if (PIN == provided_pin) { tries_left = 3; return secret; }
+		else { tries_left--; return 0; }
+	}
+	else return 0;
+}`
+
+// vaultCaller invokes get_secret 100 times. The loop counter lives in the
+// frame, not a register: every register except EBP/ESP is caller-saved in
+// this ABI (and hardened veneers additionally scrub scratch registers).
+const vaultCaller = `
+	.text
+	.global main
+main:
+	push ebp
+	mov ebp, esp
+	sub esp, 8
+	mov ecx, 0
+	storew [ebp-4], ecx
+callloop:
+	loadw ecx, [ebp-4]
+	cmp ecx, 100
+	jae out
+	mov eax, 1234
+	storew [esp], eax
+	call get_secret
+	loadw ecx, [ebp-4]
+	add ecx, 1
+	storew [ebp-4], ecx
+	jmp callloop
+out:
+	leave
+	ret
+`
+
+func benchVaultCalls(b *testing.B, protect bool) {
+	var modImg *asm.Image
+	var err error
+	if protect {
+		modImg, err = securecomp.Harden("secretmod", vaultSrc,
+			[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Full())
+	} else {
+		modImg, err = minc.Compile("secretmod", vaultSrc, minc.Options{})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		ld, err := kernel.Link(kernel.Libc(), modImg, asm.MustAssemble("m", vaultCaller))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := kernel.Load(ld, kernel.Config{DEP: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if protect {
+			if _, err := pma.Protect(p, "secretmod"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+		steps = p.CPU.Steps
+	}
+	b.ReportMetric(float64(steps)/100, "instrs/call")
+}
+
+func BenchmarkPMACallPlain(b *testing.B)     { benchVaultCalls(b, false) }
+func BenchmarkPMACallProtected(b *testing.B) { benchVaultCalls(b, true) }
+
+// --- T5: sealing / attestation / state continuity throughput ------------
+
+func BenchmarkSealUnseal(b *testing.B) {
+	hw := pma.NewHardware(1)
+	key := hw.ModuleKey(pma.CodeHash([]byte("module")))
+	state := make([]byte, 256)
+	b.SetBytes(int64(len(state)))
+	for i := 0; i < b.N; i++ {
+		blob, err := hw.Seal(key, state, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hw.Unseal(key, blob, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContinuitySave(b *testing.B) {
+	hw := pma.NewHardware(1)
+	key := hw.ModuleKey(pma.CodeHash([]byte("module")))
+	state := []byte("tries_left=3")
+	stores := map[string]pma.Store{
+		"plain":   &pma.PlainStore{Disk: pma.NewDisk(), ID: "v"},
+		"sealed":  &pma.SealedStore{Disk: pma.NewDisk(), HW: hw, Key: key, ID: "v"},
+		"memoir":  &pma.MemoirStore{Disk: pma.NewDisk(), HW: hw, Key: key, ID: "v"},
+		"twoslot": &pma.TwoSlotStore{Disk: pma.NewDisk(), HW: hw, Key: key, ID: "v"},
+	}
+	for name, s := range stores {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := s.Save(state, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T1/T3: the matrices themselves --------------------------------------
+
+func BenchmarkT1Cell(b *testing.B) {
+	attacks := core.Attacks()
+	a := attacks[0] // stack-smash-inject
+	m := core.Mitigations{DEP: true}
+	for i := 0; i < b.N; i++ {
+		s, err := a.Scenario(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Run(s, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1Matrix(b *testing.B) {
+	attacks := core.Attacks()
+	configs := core.StandardConfigs()
+	for i := 0; i < b.N; i++ {
+		m := core.RunMatrix(attacks, configs)
+		if len(m.Attacks) != len(attacks) {
+			b.Fatal("short matrix")
+		}
+	}
+}
+
+func BenchmarkT3IsolationMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunIsolationMatrix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F1-F4: figure regeneration ------------------------------------------
+
+func BenchmarkF1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF2F3Scraping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := figures.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF4Exploit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- toolchain micro-benchmarks ------------------------------------------
+
+func BenchmarkCompilerThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := minc.Compile("kern", kernelSource, minc.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGadgetScan(b *testing.B) {
+	libc := kernel.Libc()
+	b.SetBytes(int64(len(libc.Text)))
+	for i := 0; i < b.N; i++ {
+		if gs := attack.FindGadgets(libc.Text, 0, 5); len(gs) == 0 {
+			b.Fatal("no gadgets")
+		}
+	}
+}
+
+func BenchmarkInterpreterSpeed(b *testing.B) {
+	// Raw simulator speed: simulated instructions per second on a tight
+	// loop (contextualizes every other number).
+	p := buildKernelProc(b, minc.Options{}, kernel.Config{DEP: true})
+	if st := p.Run(); st != cpu.Exited {
+		b.Fatal(st)
+	}
+	total := p.CPU.Steps
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := buildKernelProc(b, minc.Options{}, kernel.Config{DEP: true})
+		p.Run()
+	}
+	b.ReportMetric(float64(total), "sim-instrs/op")
+}
+
+// --- T4 ablation: the cost of each secure-compilation hardening step -----
+
+func benchHardening(b *testing.B, opt securecomp.Options) {
+	mod, err := securecomp.Harden("secretmod", vaultSrc,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		ld, err := kernel.Link(kernel.Libc(), mod, asm.MustAssemble("m", vaultCaller))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := kernel.Load(ld, kernel.Config{DEP: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pma.Protect(p, "secretmod"); err != nil {
+			b.Fatal(err)
+		}
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+		steps = p.CPU.Steps
+	}
+	b.ReportMetric(float64(steps)/100, "instrs/call")
+}
+
+func BenchmarkHardeningNaive(b *testing.B) {
+	benchHardening(b, securecomp.Naive())
+}
+
+func BenchmarkHardeningGuardOnly(b *testing.B) {
+	benchHardening(b, securecomp.Options{FnPtrGuard: true})
+}
+
+func BenchmarkHardeningVeneer(b *testing.B) {
+	benchHardening(b, securecomp.Options{Veneer: true})
+}
+
+func BenchmarkHardeningVeneerPrivStack(b *testing.B) {
+	benchHardening(b, securecomp.Options{Veneer: true, PrivateStack: true})
+}
+
+func BenchmarkHardeningFull(b *testing.B) {
+	benchHardening(b, securecomp.Full())
+}
+
+// Shadow-stack (CFI) run-time cost on the call-heavy kernel.
+func BenchmarkOverheadShadowStack(b *testing.B) {
+	runOverhead(b, minc.Options{}, kernel.Config{DEP: true, ShadowStack: true})
+}

@@ -1,0 +1,42 @@
+// Command attacklab regenerates the reproduction's headline tables:
+//
+//	attacklab            # T1: attack technique x countermeasure matrix
+//	attacklab -machine   # T3: isolation mechanism x machine-code attacker
+//	attacklab -list      # list the attack catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softsec/internal/core"
+)
+
+func main() {
+	machine := flag.Bool("machine", false, "run the machine-code attacker (T3) matrix")
+	list := flag.Bool("list", false, "list the attack catalog")
+	flag.Parse()
+
+	if *list {
+		for _, a := range core.Attacks() {
+			fmt.Printf("%-24s %s\n", a.Name, a.Technique)
+		}
+		return
+	}
+	if *machine {
+		rows, err := core.RunIsolationMatrix()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
+		fmt.Println("T3 — isolation mechanisms vs the machine-code attacker (Section IV-A)")
+		fmt.Println()
+		fmt.Print(core.RenderIsolation(rows))
+		return
+	}
+	fmt.Println("T1 — attack techniques vs deployed countermeasures (Sections III-B, III-C)")
+	fmt.Println()
+	m := core.RunMatrix(core.Attacks(), core.StandardConfigs())
+	fmt.Print(m.Render())
+}

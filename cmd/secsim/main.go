@@ -1,0 +1,75 @@
+// Command secsim runs one attack scenario from the catalog under a chosen
+// countermeasure configuration and reports the classified outcome.
+//
+// Usage:
+//
+//	secsim -attack stack-smash-inject -canary -dep
+//	secsim -attack leak-assisted-ret2libc -canary -dep -aslr -seed 7 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softsec/internal/core"
+)
+
+func main() {
+	var (
+		name    = flag.String("attack", "stack-smash-inject", "attack name (see attacklab -list)")
+		canary  = flag.Bool("canary", false, "stack canaries")
+		dep     = flag.Bool("dep", false, "Data Execution Prevention")
+		aslr    = flag.Bool("aslr", false, "ASLR")
+		seed    = flag.Int64("seed", 42, "ASLR seed")
+		checked = flag.Bool("checked", false, "checked dialect + fortified libc")
+		verbose = flag.Bool("v", false, "print victim source and output")
+	)
+	flag.Parse()
+
+	var spec *core.AttackSpec
+	for _, a := range core.Attacks() {
+		if a.Name == *name {
+			a := a
+			spec = &a
+			break
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "secsim: unknown attack %q (try attacklab -list)\n", *name)
+		os.Exit(2)
+	}
+	m := core.Mitigations{
+		Canary: *canary, CanarySeed: 7,
+		DEP:  *dep,
+		ASLR: *aslr, ASLRSeed: *seed,
+		Checked: *checked,
+	}
+	s, err := spec.Scenario(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Println("victim program:")
+		fmt.Println(spec.Victim)
+	}
+	res, err := core.Run(s, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("attack:     %s (%s)\n", spec.Name, spec.Technique)
+	fmt.Printf("mitigation: %s\n", m)
+	fmt.Printf("outcome:    %s\n", res.Outcome)
+	fmt.Printf("final:      %v (exit %d)\n", res.State, res.Exit)
+	if f := res.Proc.CPU.Fault(); f != nil {
+		fmt.Printf("fault:      %v\n", f)
+	}
+	if *verbose {
+		fmt.Printf("output:     %q\n", res.Output)
+	}
+	if res.Outcome == core.Compromised {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+package softsec
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cmds_test.go builds every command-line tool and exercises it end to end
+// (the "does the shipped binary actually work" layer above the unit
+// tests).
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, tool := range []string{"minc", "smasm", "secsim", "figures", "attacklab"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin, tool string, wantExit int, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, tool), args...)
+	out, err := cmd.CombinedOutput()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	if exit != wantExit {
+		t.Fatalf("%s %v: exit %d, want %d\n%s", tool, args, exit, wantExit, out)
+	}
+	return string(out)
+}
+
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// A vulnerable program for minc.
+	cFile := filepath.Join(work, "vuln.c")
+	if err := os.WriteFile(cFile, []byte(`
+void main() {
+	char buf[16];
+	int n = read(0, buf, 64);
+	write(1, buf, n);
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("minc -S", func(t *testing.T) {
+		out := runTool(t, bin, "minc", 0, "-S", cFile)
+		if !strings.Contains(out, "push ebp") || !strings.Contains(out, ".global main") {
+			t.Fatalf("assembly output:\n%s", out)
+		}
+	})
+	t.Run("minc -run", func(t *testing.T) {
+		// The guest's exit status propagates: main leaves write's
+		// return value (5 bytes) in EAX.
+		out := runTool(t, bin, "minc", 5, "-run", "-in", "hello", cFile)
+		if !strings.Contains(out, "hello") {
+			t.Fatalf("run output:\n%s", out)
+		}
+	})
+	t.Run("minc -analyze", func(t *testing.T) {
+		out := runTool(t, bin, "minc", 1, "-analyze", cFile)
+		if !strings.Contains(out, "spatial") {
+			t.Fatalf("analysis output:\n%s", out)
+		}
+	})
+
+	sFile := filepath.Join(work, "prog.s")
+	if err := os.WriteFile(sFile, []byte(`
+	.text
+	.global main
+main:
+	push ebx
+	mov eax, 42
+	pop ebx
+	ret
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("smasm", func(t *testing.T) {
+		out := runTool(t, bin, "smasm", 0, "-d", "-gadgets", sFile)
+		if !strings.Contains(out, "global .text") || !strings.Contains(out, "mov eax, 0x2a") {
+			t.Fatalf("smasm output:\n%s", out)
+		}
+		if !strings.Contains(out, "pop ebx; ret") {
+			t.Fatalf("gadget mining output:\n%s", out)
+		}
+	})
+
+	t.Run("figures", func(t *testing.T) {
+		out := runTool(t, bin, "figures", 0, "-fig", "4")
+		if !strings.Contains(out, "received the secret 666") {
+			t.Fatalf("figures output:\n%s", out)
+		}
+	})
+
+	t.Run("attacklab list", func(t *testing.T) {
+		out := runTool(t, bin, "attacklab", 0, "-list")
+		for _, want := range []string{"stack-smash-inject", "heap-uaf", "rop-chain"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("catalog missing %s:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("attacklab machine matrix", func(t *testing.T) {
+		out := runTool(t, bin, "attacklab", 0, "-machine")
+		if !strings.Contains(out, "pma") || !strings.Contains(out, "SAFE") {
+			t.Fatalf("T3 output:\n%s", out)
+		}
+	})
+
+	t.Run("secsim compromised exits 1", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 1, "-attack", "return-to-libc", "-dep")
+		if !strings.Contains(out, "COMPROMISED") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("secsim detected exits 0", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 0, "-attack", "return-to-libc", "-dep", "-canary")
+		if !strings.Contains(out, "detected") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,13 @@
+// Package softsec is a full reproduction of "Software Security:
+// Vulnerabilities and Countermeasures for Two Attacker Models" (Piessens &
+// Verbauwhede, DATE 2016) as an executable system: a simulated 32-bit
+// platform (ISA, CPU, paged memory, kernel, libc), a C-subset compiler
+// with pluggable countermeasures, attack toolkits for the I/O and
+// machine-code attacker models, and the isolation mechanisms of Section IV
+// (bytecode VM, SFI, capability machine, protected module architecture
+// with attestation, sealing and state continuity).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// experiment index, and the examples/ directory for guided tours. The
+// benchmarks in bench_test.go regenerate every table and figure.
+package softsec

@@ -1,0 +1,132 @@
+// Attestation demonstrates the paper's Section IV-C: remote attestation of
+// a protected module (the hardware key depends on the loaded code), sealed
+// storage, the rollback attack on the PIN vault's tries counter, and the
+// liveness problem of naive counter-based rollback protection.
+//
+// Run with: go run ./examples/attestation
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"softsec/internal/asm"
+	"softsec/internal/kernel"
+	"softsec/internal/pma"
+	"softsec/internal/securecomp"
+)
+
+const vault = `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+int get_secret(int provided_pin) {
+	if (tries_left > 0) {
+		if (PIN == provided_pin) { tries_left = 3; return secret; }
+		else { tries_left--; return 0; }
+	}
+	else return 0;
+}`
+
+func main() {
+	hw := pma.NewHardware(2026)
+
+	fmt.Println("== 1. remote attestation ==")
+	mod, err := securecomp.Harden("secretmod", vault,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := asm.MustAssemble("client", "\t.text\n\t.global main\nmain:\n\tmov eax, 0\n\tret\n")
+	ld, err := kernel.Link(kernel.Libc(), mod, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := pma.Protect(p, "secretmod")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := pol.Modules()[0]
+	code, _ := p.Mem.PeekRaw(m.CodeStart, int(m.CodeEnd-m.CodeStart))
+	providerKey := hw.ModuleKey(pma.CodeHash(code)) // provisioned out of band
+
+	nonce := []byte("verifier-nonce-0001")
+	report := hw.Attest(p, m, nonce)
+	fmt.Printf("   genuine module attests: %v\n", pma.VerifyAttestation(providerKey, nonce, report))
+
+	// A malicious OS patches the module (e.g. to always return the
+	// secret) before loading: the derived key changes, attestation fails.
+	p.Mem.PokeWord(m.CodeStart+8, 0x90909090)
+	bad := hw.Attest(p, m, nonce)
+	fmt.Printf("   tampered module attests: %v\n", pma.VerifyAttestation(providerKey, nonce, bad))
+	fmt.Println()
+
+	fmt.Println("== 2. sealed storage and the rollback attack ==")
+	disk := pma.NewDisk()
+	key := providerKey
+	sealed := &pma.SealedStore{Disk: disk, HW: hw, Key: key, ID: "vault"}
+	state3 := []byte("tries_left=3")
+	state1 := []byte("tries_left=1")
+	if err := sealed.Save(state3, nil); err != nil {
+		log.Fatal(err)
+	}
+	snapshot := disk.Snapshot() // the OS keeps a copy of the fresh state
+	if err := sealed.Save(state1, nil); err != nil {
+		log.Fatal(err)
+	}
+	disk.Restore(snapshot) // ... and rolls back after two failed PINs
+	got, err := sealed.Recover()
+	fmt.Printf("   sealed-only store after rollback: %q (err=%v)\n", got, err)
+	fmt.Println("   => sealing gives confidentiality+integrity, NOT freshness")
+	fmt.Println()
+
+	fmt.Println("== 3. monotonic counters detect rollback ==")
+	memoir := &pma.MemoirStore{Disk: pma.NewDisk(), HW: hw, Key: key, ID: "vault-m"}
+	if err := memoir.Save(state3, nil); err != nil {
+		log.Fatal(err)
+	}
+	snap2 := memoir.Disk.Snapshot()
+	if err := memoir.Save(state1, nil); err != nil {
+		log.Fatal(err)
+	}
+	memoir.Disk.Restore(snap2)
+	_, err = memoir.Recover()
+	fmt.Printf("   memoir store after rollback: err=%v\n", err)
+	fmt.Println()
+
+	fmt.Println("== 4. ...but naive counters can brick the module on a crash ==")
+	memoir2 := &pma.MemoirStore{Disk: pma.NewDisk(), HW: hw, Key: key, ID: "vault-c"}
+	if err := memoir2.Save(state3, nil); err != nil {
+		log.Fatal(err)
+	}
+	inj := &pma.FaultInjector{CrashAfter: 1} // crash between increment and write
+	err = memoir2.Save(state1, inj)
+	fmt.Printf("   crash injected during save: %v\n", err)
+	_, err = memoir2.Recover()
+	fmt.Printf("   recovery after crash: err=%v\n", err)
+	fmt.Println()
+
+	fmt.Println("== 5. the two-slot protocol gives both freshness and liveness ==")
+	two := &pma.TwoSlotStore{Disk: pma.NewDisk(), HW: hw, Key: key, ID: "vault-2"}
+	if err := two.Save(state3, nil); err != nil {
+		log.Fatal(err)
+	}
+	inj2 := &pma.FaultInjector{CrashAfter: 1}
+	if err := two.Save(state1, inj2); !errors.Is(err, pma.ErrCrash) {
+		log.Fatalf("expected crash, got %v", err)
+	}
+	got, err = two.Recover()
+	fmt.Printf("   recovery after the same crash: %q (err=%v)\n", got, err)
+	snap3 := two.Disk.Snapshot()
+	if err := two.Save([]byte("tries_left=0"), nil); err != nil {
+		log.Fatal(err)
+	}
+	two.Disk.Restore(snap3)
+	_, err = two.Recover()
+	fmt.Printf("   rollback against two-slot: err=%v\n", err)
+}

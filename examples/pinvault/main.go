@@ -1,0 +1,126 @@
+// Pinvault walks the paper's Section IV end to end: a bug-free PIN vault
+// module is defenceless against an in-process machine-code attacker on a
+// classic machine, protected by a Protected Module Architecture, still
+// exploitable through its function-pointer interface when compiled
+// naively, and finally safe under secure compilation.
+//
+// Run with: go run ./examples/pinvault
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsec/internal/asm"
+	"softsec/internal/attack"
+	"softsec/internal/kernel"
+	"softsec/internal/minc"
+	"softsec/internal/pma"
+	"softsec/internal/securecomp"
+)
+
+const vaultFig2 = `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+int get_secret(int provided_pin) {
+	if (tries_left > 0) {
+		if (PIN == provided_pin) { tries_left = 3; return secret; }
+		else { tries_left--; return 0; }
+	}
+	else return 0;
+}`
+
+const vaultFig4 = `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+int get_secret(int get_pin()) {
+	if (tries_left > 0) {
+		if (PIN == get_pin()) { tries_left = 3; return secret; }
+		else { tries_left--; return 0; }
+	}
+	else return 0;
+}`
+
+func load(mod *asm.Image, client *asm.Image) *kernel.Process {
+	ld, err := kernel.Link(kernel.Libc(), mod, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	fmt.Println("== 1. memory scraping on the classic machine (Figure 2) ==")
+	mod, err := minc.Compile("secretmod", vaultFig2, minc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scraper, err := attack.ScraperModule(kernel.NominalData, kernel.NominalData+0x1000,
+		[]byte{0xd2, 0x04, 0x00, 0x00}) // the PIN 1234, little-endian
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := load(mod, scraper)
+	st := p.Run()
+	fmt.Printf("   scraper: state=%v exit=%d, exfiltrated % x\n", st, p.CPU.ExitCode(), p.Output.Bytes())
+	fmt.Println("   => PIN and secret stolen without any bug in the module")
+	fmt.Println()
+
+	fmt.Println("== 2. the same scraper against a protected module (Figure 3) ==")
+	hmod, err := securecomp.Harden("secretmod", vaultFig2,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	scraper2, _ := attack.ScraperModule(kernel.NominalData, kernel.NominalData+0x2000,
+		[]byte{0xd2, 0x04, 0x00, 0x00})
+	p2 := load(hmod, scraper2)
+	if _, err := pma.Protect(p2, "secretmod"); err != nil {
+		log.Fatal(err)
+	}
+	st2 := p2.Run()
+	fmt.Printf("   scraper: state=%v fault=%v\n", st2, p2.CPU.Fault())
+	fmt.Println()
+
+	fmt.Println("== 3. the function-pointer exploit on the naive module (Figure 4) ==")
+	naive, err := securecomp.Harden("secretmod", vaultFig4,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Naive())
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := load(naive, asm.MustAssemble("client", "\t.text\n\t.global main\nmain:\n\tret\n"))
+	mb, _ := probe.Module("secretmod")
+	text, _ := probe.Mem.PeekRaw(mb.TextStart, int(mb.TextEnd-mb.TextStart))
+	resetAddr, ok := attack.FindTriesResetAddr(text, mb.TextStart)
+	if !ok {
+		log.Fatal("reset gadget not found")
+	}
+	fmt.Printf("   attacker found `tries_left = 3` at 0x%08x\n", resetAddr)
+	naive2, _ := securecomp.Harden("secretmod", vaultFig4,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Naive())
+	p3 := load(naive2, attack.Fig4ClientModule(resetAddr))
+	if _, err := pma.Protect(p3, "secretmod"); err != nil {
+		log.Fatal(err)
+	}
+	st3 := p3.Run()
+	fmt.Printf("   exploit: state=%v exit=%d (the secret!) — PMA alone did not help\n",
+		st3, p3.CPU.ExitCode())
+	fmt.Println()
+
+	fmt.Println("== 4. secure compilation stops it ==")
+	full, _ := securecomp.Harden("secretmod", vaultFig4,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Full())
+	p4 := load(full, attack.Fig4ClientModule(resetAddr))
+	if _, err := pma.Protect(p4, "secretmod"); err != nil {
+		log.Fatal(err)
+	}
+	st4 := p4.Run()
+	fmt.Printf("   exploit: state=%v fault=%v\n", st4, p4.CPU.Fault())
+	fmt.Println("   => the compiler's defensive check rejected the pointer into the module")
+}

@@ -1,0 +1,629 @@
+// Package asm implements a two-pass assembler for SM32 assembly, producing
+// relocatable Images that the kernel's loader/linker turns into processes.
+//
+// Syntax (one statement per line, ';' '#' or '//' start a comment):
+//
+//	.text / .data          switch section
+//	.global name           export name to other modules
+//	.entry name            mark name as a protected-module entry point
+//	label:                 define label at current location
+//	.word expr, expr       emit 32-bit words (exprs may be symbols)
+//	.byte 1, 2, 'A'        emit bytes
+//	.asciz "str"           emit a NUL-terminated string
+//	.space n               emit n zero bytes
+//	.align n               pad with zeros to an n-byte boundary
+//	mov eax, 0x10          instructions, in the syntax of isa.Instr.String
+//	loadw eax, [ebp-0x10]
+//	call get_request       direct calls/jumps take labels (or numbers)
+//	call eax               indirect call takes a register
+//
+// Immediate operands may reference symbols; the assembler records an
+// absolute relocation so the loader can place segments anywhere (ASLR).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"softsec/internal/isa"
+)
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type stmtKind uint8
+
+const (
+	stInstr stmtKind = iota
+	stBytes          // literal bytes (.byte/.asciz/.space already expanded)
+	stWord           // one 32-bit expression (.word item)
+	stAlign
+)
+
+// operand classification
+type operand struct {
+	isReg  bool
+	reg    isa.Reg
+	isMem  bool // [reg+disp]
+	memReg isa.Reg
+	disp   uint32
+	isImm  bool
+	imm    uint32
+	sym    string // non-empty when the immediate is a symbol reference
+}
+
+type stmt struct {
+	kind  stmtKind
+	line  int
+	op    string
+	args  []operand
+	bytes []byte
+	word  operand
+	align uint32
+
+	section Section
+	off     uint32 // assigned in pass 1
+	size    uint32
+}
+
+type assembler struct {
+	file    string
+	img     *Image
+	stmts   []stmt
+	section Section
+	globals map[string]bool
+	entries []string
+	labels  map[string]struct {
+		sec  Section
+		idx  int // index into stmts; resolved to offset after layout
+		line int
+	}
+}
+
+// Assemble assembles source into a relocatable image. file is used in
+// diagnostics only.
+func Assemble(file, source string) (*Image, error) {
+	a := &assembler{
+		file:    file,
+		img:     NewImage(file),
+		globals: make(map[string]bool),
+		labels: make(map[string]struct {
+			sec  Section
+			idx  int
+			line int
+		}),
+	}
+	if err := a.parse(source); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	return a.img, nil
+}
+
+// MustAssemble is Assemble for trusted, static sources; it panics on error.
+func MustAssemble(file, source string) *Image {
+	img, err := Assemble(file, source)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			// Do not cut inside a string literal.
+			if q := strings.Index(s, `"`); q < 0 || q > i {
+				s = s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) parse(source string) error {
+	for lineNo, raw := range strings.Split(source, "\n") {
+		ln := lineNo + 1
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by a statement on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				break
+			}
+			if _, dup := a.labels[name]; dup {
+				return a.errf(ln, "duplicate label %q", name)
+			}
+			a.labels[name] = struct {
+				sec  Section
+				idx  int
+				line int
+			}{a.section, len(a.stmts), ln}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.parseDirective(ln, line); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.parseInstr(ln, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" || s == "." {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '$' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r == '.':
+			// Compiler-generated labels are .L-prefixed; only allow the
+			// dot as the leading character so directives stay distinct.
+			if i != 0 {
+				return false
+			}
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inStr := false
+	for i, r := range s {
+		switch {
+		case r == '"':
+			inStr = !inStr
+		case inStr:
+		case r == '[':
+			depth++
+		case r == ']':
+			depth--
+		case r == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (a *assembler) parseDirective(ln int, line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.section = SecText
+	case ".data":
+		a.section = SecData
+	case ".global":
+		if !isIdent(rest) {
+			return a.errf(ln, ".global wants a symbol name")
+		}
+		a.globals[rest] = true
+	case ".entry":
+		if !isIdent(rest) {
+			return a.errf(ln, ".entry wants a symbol name")
+		}
+		a.globals[rest] = true
+		a.entries = append(a.entries, rest)
+	case ".word":
+		for _, arg := range splitArgs(rest) {
+			op, err := a.parseOperand(ln, arg)
+			if err != nil {
+				return err
+			}
+			if !op.isImm {
+				return a.errf(ln, ".word wants immediates or symbols, got %q", arg)
+			}
+			a.stmts = append(a.stmts, stmt{kind: stWord, line: ln, word: op, section: a.section})
+		}
+	case ".byte":
+		var bs []byte
+		for _, arg := range splitArgs(rest) {
+			v, sym, err := a.parseImm(ln, arg)
+			if err != nil {
+				return err
+			}
+			if sym != "" {
+				return a.errf(ln, ".byte cannot take symbols")
+			}
+			bs = append(bs, byte(v))
+		}
+		a.stmts = append(a.stmts, stmt{kind: stBytes, line: ln, bytes: bs, section: a.section})
+	case ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(ln, ".asciz wants a quoted string: %v", err)
+		}
+		a.stmts = append(a.stmts, stmt{kind: stBytes, line: ln, bytes: append([]byte(s), 0), section: a.section})
+	case ".space":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			return a.errf(ln, ".space wants a size: %v", err)
+		}
+		a.stmts = append(a.stmts, stmt{kind: stBytes, line: ln, bytes: make([]byte, n), section: a.section})
+	case ".align":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			return a.errf(ln, ".align wants a power of two")
+		}
+		a.stmts = append(a.stmts, stmt{kind: stAlign, line: ln, align: uint32(n), section: a.section})
+	default:
+		return a.errf(ln, "unknown directive %s", dir)
+	}
+	return nil
+}
+
+// parseImm parses a numeric or character immediate, or returns a symbol
+// name to be resolved later.
+func (a *assembler) parseImm(ln int, s string) (uint32, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", a.errf(ln, "empty immediate")
+	}
+	if s[0] == '\'' {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) != 1 {
+			return 0, "", a.errf(ln, "bad char literal %s", s)
+		}
+		return uint32(r[0]), "", nil
+	}
+	neg := false
+	t := s
+	if t[0] == '-' {
+		neg = true
+		t = t[1:]
+	}
+	if v, err := strconv.ParseUint(t, 0, 32); err == nil {
+		if neg {
+			sv := -int64(v)
+			return uint32(int32(sv)), "", nil
+		}
+		return uint32(v), "", nil
+	}
+	if isIdent(s) {
+		return 0, s, nil
+	}
+	return 0, "", a.errf(ln, "bad immediate %q", s)
+}
+
+func (a *assembler) parseOperand(ln int, s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := isa.RegByName(s); ok {
+		return operand{isReg: true, reg: r}, nil
+	}
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		// forms: reg, reg+imm, reg-imm
+		sep := -1
+		for i := 1; i < len(inner); i++ {
+			if inner[i] == '+' || inner[i] == '-' {
+				sep = i
+				break
+			}
+		}
+		regStr := inner
+		dispStr := ""
+		if sep >= 0 {
+			regStr = strings.TrimSpace(inner[:sep])
+			dispStr = strings.TrimSpace(inner[sep:])
+			if dispStr[0] == '+' {
+				dispStr = dispStr[1:]
+			}
+		}
+		r, ok := isa.RegByName(regStr)
+		if !ok {
+			return operand{}, a.errf(ln, "bad memory base register %q", regStr)
+		}
+		var disp uint32
+		if dispStr != "" {
+			v, sym, err := a.parseImm(ln, dispStr)
+			if err != nil {
+				return operand{}, err
+			}
+			if sym != "" {
+				return operand{}, a.errf(ln, "symbolic displacement not supported")
+			}
+			disp = v
+		}
+		return operand{isMem: true, memReg: r, disp: disp}, nil
+	}
+	v, sym, err := a.parseImm(ln, s)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{isImm: true, imm: v, sym: sym}, nil
+}
+
+func (a *assembler) parseInstr(ln int, line string) error {
+	var mn, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mn = line
+	}
+	mn = strings.ToLower(mn)
+	var args []operand
+	for _, s := range splitArgs(rest) {
+		op, err := a.parseOperand(ln, s)
+		if err != nil {
+			return err
+		}
+		args = append(args, op)
+	}
+	a.stmts = append(a.stmts, stmt{kind: stInstr, line: ln, op: mn, args: args, section: a.section})
+	return nil
+}
+
+// pick resolves a mnemonic + operand shapes to an isa.Op.
+func (a *assembler) pick(ln int, s *stmt) (isa.Op, error) {
+	n := len(s.args)
+	shape := func(i int) byte {
+		switch {
+		case s.args[i].isReg:
+			return 'r'
+		case s.args[i].isMem:
+			return 'm'
+		default:
+			return 'i'
+		}
+	}
+	sig := s.op
+	for i := 0; i < n; i++ {
+		sig += " " + string(shape(i))
+	}
+	table := map[string]isa.Op{
+		"nop": isa.NOP, "hlt": isa.HLT, "ret": isa.RET,
+		"leave": isa.LEAVE, "trap": isa.TRAP,
+		"push r": isa.PUSH, "push i": isa.PUSHI, "pop r": isa.POP,
+		"mov r i": isa.MOVI, "mov r r": isa.MOV,
+		"add r r": isa.ADD, "add r i": isa.ADDI,
+		"sub r r": isa.SUB, "sub r i": isa.SUBI,
+		"and r r": isa.AND, "and r i": isa.ANDI,
+		"or r r": isa.OR, "or r i": isa.ORI,
+		"xor r r": isa.XOR, "xor r i": isa.XORI,
+		"cmp r r": isa.CMP, "cmp r i": isa.CMPI,
+		"test r r": isa.TEST,
+		"imul r r": isa.IMUL, "idiv r r": isa.IDIV, "imod r r": isa.IMOD,
+		"shl r r": isa.SHL, "shr r r": isa.SHR, "sar r r": isa.SAR,
+		"neg r": isa.NEG, "not r": isa.NOT,
+		"loadw r m": isa.LOADW, "loadb r m": isa.LOADB,
+		"storew m r": isa.STOREW, "storeb m r": isa.STOREB,
+		"lea r m": isa.LEA,
+		"call r":  isa.CALLR, "call i": isa.CALL,
+		"jmp r": isa.JMPR, "jmp i": isa.JMP,
+		"jz i": isa.JZ, "jnz i": isa.JNZ, "jl i": isa.JL, "jg i": isa.JG,
+		"jle i": isa.JLE, "jge i": isa.JGE, "jb i": isa.JB, "ja i": isa.JA,
+		"jae i": isa.JAE, "jbe i": isa.JBE,
+		"int i": isa.INT,
+	}
+	op, ok := table[sig]
+	if !ok {
+		return 0, a.errf(ln, "no instruction matches %q", sig)
+	}
+	return op, nil
+}
+
+// layout assigns offsets (pass 1).
+func (a *assembler) layout() error {
+	var off [2]uint32
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		sec := s.section
+		switch s.kind {
+		case stAlign:
+			pad := (s.align - off[sec]%s.align) % s.align
+			s.size = pad
+		case stBytes:
+			s.size = uint32(len(s.bytes))
+		case stWord:
+			s.size = 4
+		case stInstr:
+			op, err := a.pick(s.line, s)
+			if err != nil {
+				return err
+			}
+			s.size = uint32(isa.EncodedSize(op))
+		}
+		s.off = off[sec]
+		off[sec] += s.size
+	}
+	// Register label symbols now that offsets are known.
+	for name, l := range a.labels {
+		lOff := off[l.sec] // label at end of section
+		if l.idx < len(a.stmts) {
+			// Find the first statement at or after idx in the same section.
+			found := false
+			for j := l.idx; j < len(a.stmts); j++ {
+				if a.stmts[j].section == l.sec {
+					lOff = a.stmts[j].off
+					found = true
+					break
+				}
+			}
+			_ = found
+		}
+		if err := a.img.AddSymbol(Symbol{
+			Name:    name,
+			Section: l.sec,
+			Off:     lOff,
+			Global:  a.globals[name],
+		}); err != nil {
+			return err
+		}
+	}
+	for g := range a.globals {
+		if _, ok := a.img.Symbols[g]; !ok {
+			return a.errf(0, ".global %s: no such label", g)
+		}
+	}
+	a.img.Entries = a.entries
+	return nil
+}
+
+// emit encodes everything (pass 2).
+func (a *assembler) emit() error {
+	secBuf := map[Section]*[]byte{SecText: &a.img.Text, SecData: &a.img.Data}
+	for i := range a.stmts {
+		s := &a.stmts[i]
+		buf := secBuf[s.section]
+		switch s.kind {
+		case stAlign:
+			*buf = append(*buf, make([]byte, s.size)...)
+		case stBytes:
+			*buf = append(*buf, s.bytes...)
+		case stWord:
+			v := s.word.imm
+			if s.word.sym != "" {
+				a.img.Relocs = append(a.img.Relocs, Reloc{
+					Section: s.section, Off: s.off, Symbol: s.word.sym, Kind: RelAbs32,
+				})
+				v = 0
+			}
+			*buf = append(*buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		case stInstr:
+			if err := a.emitInstr(s, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emitInstr(s *stmt, buf *[]byte) error {
+	op, err := a.pick(s.line, s)
+	if err != nil {
+		return err
+	}
+	in := isa.Instr{Op: op}
+	immIdx := -1 // statement-relative byte offset of the imm32 field
+	switch isa.FormatOf(op) {
+	case isa.FNone:
+	case isa.FPacked:
+		in.Rd = s.args[0].reg
+		if op == isa.PUSHI {
+			// handled below as FI32-like
+		}
+		if op == isa.MOVI {
+			in.Imm = s.args[1].imm
+			if s.args[1].sym != "" {
+				immIdx = 1
+			}
+		}
+	case isa.FRR:
+		in.Rd, in.Rs = s.args[0].reg, s.args[1].reg
+	case isa.FR:
+		in.Rd = s.args[0].reg
+	case isa.FMem:
+		switch op {
+		case isa.STOREW, isa.STOREB:
+			in.Rd, in.Imm, in.Rs = s.args[0].memReg, s.args[0].disp, s.args[1].reg
+		default:
+			in.Rd, in.Rs, in.Imm = s.args[0].reg, s.args[1].memReg, s.args[1].disp
+		}
+	case isa.FRI:
+		in.Rd = s.args[0].reg
+		in.Imm = s.args[1].imm
+		if s.args[1].sym != "" {
+			immIdx = 2
+		}
+	case isa.FI32:
+		in.Imm = s.args[0].imm
+		if s.args[0].sym != "" {
+			immIdx = 1
+		}
+	case isa.FRel32:
+		arg := s.args[0]
+		if arg.sym != "" {
+			if l, ok := a.labels[arg.sym]; ok && l.sec == SecText {
+				// Local branch: resolve now.
+				target := a.img.Symbols[arg.sym].Off
+				in.Imm = target - (s.off + s.size)
+			} else {
+				// External: PC-relative relocation.
+				a.img.Relocs = append(a.img.Relocs, Reloc{
+					Section: SecText, Off: s.off + 1, Symbol: arg.sym,
+					Kind: RelPC32, InstrEnd: s.off + s.size,
+				})
+			}
+		} else {
+			in.Imm = arg.imm
+		}
+	case isa.FI8:
+		in.Imm = s.args[0].imm
+		if s.args[0].sym != "" {
+			return a.errf(s.line, "int vector cannot be a symbol")
+		}
+	}
+	if op == isa.PUSHI {
+		in.Imm = s.args[0].imm
+		if s.args[0].sym != "" {
+			immIdx = 1
+		}
+	}
+	if immIdx >= 0 {
+		a.img.Relocs = append(a.img.Relocs, Reloc{
+			Section: s.section, Off: s.off + uint32(immIdx),
+			Symbol: s.args[len(s.args)-1].sym, Kind: RelAbs32,
+		})
+		if op == isa.PUSHI {
+			a.img.Relocs[len(a.img.Relocs)-1].Symbol = s.args[0].sym
+		}
+		in.Imm = 0
+	}
+	out, err := isa.Encode(*buf, in)
+	if err != nil {
+		return a.errf(s.line, "encode: %v", err)
+	}
+	if uint32(len(out))-uint32(len(*buf)) != s.size {
+		return a.errf(s.line, "size mismatch for %s", s.op)
+	}
+	*buf = out
+	return nil
+}

@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"bytes"
+	"fmt"
+
+	"softsec/internal/asm"
+	"softsec/internal/kernel"
+)
+
+// KernelScrape is the machine-code attacker of Section IV running *inside
+// the operating system* (memory-scanning malware, like the POS RAM
+// scrapers the paper cites): it walks the whole virtual address space of a
+// process ignoring page permissions and returns the addresses where
+// pattern occurs. Only hardware-backed isolation (a Protected Module
+// Architecture) can defeat it; use internal/pma's KernelScrape to model
+// that case.
+func KernelScrape(p *kernel.Process, pattern []byte) []uint32 {
+	var hits []uint32
+	for _, r := range p.Mem.Regions() {
+		data, _ := p.Mem.PeekRaw(r.Addr, int(r.Size))
+		for off := 0; ; {
+			i := bytes.Index(data[off:], pattern)
+			if i < 0 {
+				break
+			}
+			hits = append(hits, r.Addr+uint32(off+i))
+			off += i + 1
+		}
+	}
+	return hits
+}
+
+// ScraperModule generates the *in-process* machine-code attacker: a module
+// that, when linked into the victim program as its main module, scans
+// [lo, hi) for the byte pattern (1-4 bytes) and, on each hit, writes the
+// 12 bytes starting 4 before the match to fd 1 and exits with code 77.
+//
+// Against an unprotected program this exfiltrates module-private data
+// (Figure 2's memory scraping). Under a Protected Module Architecture the
+// first load that touches protected memory raises an access-control fault,
+// stopping the attack (Figure 3).
+func ScraperModule(lo, hi uint32, pattern []byte) (*asm.Image, error) {
+	if len(pattern) == 0 || len(pattern) > 4 {
+		return nil, fmt.Errorf("attack: scraper pattern must be 1-4 bytes, got %d", len(pattern))
+	}
+	src := fmt.Sprintf(`
+; machine-code attacker: in-process memory scraper
+	.text
+	.global main
+main:
+	mov esi, 0x%x        ; scan cursor
+	mov edi, 0x%x        ; limit
+scan:
+	cmp esi, edi
+	jae done
+`, lo, hi)
+	for i, b := range pattern {
+		src += fmt.Sprintf(`	loadb eax, [esi+%d]
+	cmp eax, 0x%x
+	jnz next
+`, i, b)
+	}
+	src += `	; hit: exfiltrate the 12 bytes around the match
+	mov ebx, 1
+	mov ecx, esi
+	sub ecx, 4
+	mov edx, 12
+	mov eax, 4
+	int 0x80
+	mov ebx, 77
+	mov eax, 1
+	int 0x80
+next:
+	add esi, 1
+	jmp scan
+done:
+	mov eax, 0
+	ret
+`
+	return asm.Assemble("scraper", src)
+}
+
+// ScraperExitCode is returned by ScraperModule's generated code when it
+// found and exfiltrated a match.
+const ScraperExitCode = 77
+
+// FindTriesResetAddr locates, inside a compiled secret module, the address
+// of the instruction sequence implementing `tries_left = 3` — the target
+// of the paper's Figure 4 function-pointer exploit. The machine-code
+// attacker is assumed to have a copy of the module binary (modules are
+// distributed as machine code), so searching the victim's own text is fair
+// game.
+//
+// minc compiles the assignment to:
+//
+//	mov eax, tries_left   (b8 <addr32>)   <- returned address
+//	push eax              (50)
+//	mov eax, 3            (b8 03 00 00 00)
+//	pop ecx               (59)
+//	storew [ecx], eax     (87 10 00 00 00 00)
+func FindTriesResetAddr(text []byte, base uint32) (uint32, bool) {
+	sig := []byte{0x50, 0xB8, 0x03, 0x00, 0x00, 0x00, 0x59, 0x87, 0x10, 0x00, 0x00, 0x00, 0x00}
+	for off := 5; off+len(sig) <= len(text); off++ {
+		if text[off-5] == 0xB8 && bytes.Equal(text[off:off+len(sig)], sig) {
+			return base + uint32(off-5), true
+		}
+	}
+	return 0, false
+}
+
+// Fig4ClientModule generates the malicious client of the paper's Figure 4:
+// it calls get_secret twice with wrong PINs (burning tries), then passes
+// resetAddr — a pointer *into the module's own code* — as the get_pin
+// function pointer. When the module calls get_pin(), execution jumps to
+// the tries_left-reset sequence and falls through `return secret`, handing
+// the attacker the secret without ever knowing the PIN.
+//
+// The client exits with the value get_secret returned, and also writes it
+// so the oracle can check for the secret's bytes.
+func Fig4ClientModule(resetAddr uint32) *asm.Image {
+	src := fmt.Sprintf(`
+; malicious Figure-4 client: passes a pointer into the module as get_pin
+	.text
+	.global main
+main:
+	push ebp
+	mov ebp, esp
+	sub esp, 8
+	mov eax, 0x%x        ; the tries_left = 3 sequence inside the module
+	storew [esp], eax
+	call get_secret      ; module calls our "get_pin" = reset gadget
+	storew [ebp-4], eax  ; stash the stolen value
+	mov ebx, 1
+	lea ecx, [ebp-4]
+	mov edx, 4
+	mov eax, 4
+	int 0x80             ; exfiltrate
+	loadw eax, [ebp-4]
+	leave
+	ret
+`, resetAddr)
+	return asm.MustAssemble("fig4client", src)
+}

@@ -1,0 +1,154 @@
+package bytecode
+
+import "fmt"
+
+// VerifyModule is the load-time bytecode verifier — the JVM-style step
+// that rejects abstraction-violating bytecode *before* it ever runs,
+// complementing the VM's run-time checks. Like the JVM's verifier it is a
+// static pass over the code: branch targets must land on instructions,
+// locals must be in range, operand-stack depth must be consistent and
+// non-negative on every path, foreign private-field accesses are refused
+// outright, and methods must terminate every path with a return.
+func VerifyModule(m *Module, known func(mod, method string) (*Method, bool)) error {
+	for name, meth := range m.Methods {
+		if err := verifyMethod(m, name, meth, known); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Link verifies every module of a program against each other and returns
+// a VM for them; it is the safe way to construct a VM from untrusted
+// modules.
+func Link(mods ...*Module) (*VM, error) {
+	lookup := func(mod, method string) (*Method, bool) {
+		for _, m := range mods {
+			if m.Name == mod {
+				meth, ok := m.Methods[method]
+				return meth, ok
+			}
+		}
+		return nil, false
+	}
+	for _, m := range mods {
+		if err := VerifyModule(m, lookup); err != nil {
+			return nil, err
+		}
+	}
+	return NewVM(mods...), nil
+}
+
+type verifyErr struct {
+	Module, Method string
+	PC             int
+	Msg            string
+}
+
+func (e *verifyErr) Error() string {
+	return fmt.Sprintf("bytecode verifier: %s.%s pc=%d: %s", e.Module, e.Method, e.PC, e.Msg)
+}
+
+// stack effects per op: pops, pushes. Call handled specially.
+var effects = map[Op][2]int{
+	Push: {0, 1}, Pop: {1, 0},
+	LoadLocal: {0, 1}, StoreLocal: {1, 0},
+	GetField: {0, 1}, PutField: {1, 0}, GetForeign: {0, 1},
+	Add: {2, 1}, Sub: {2, 1}, Mul: {2, 1}, CmpEq: {2, 1}, CmpLt: {2, 1},
+	Jz: {1, 0}, Jmp: {0, 0},
+	Ret: {1, 0}, RetVoid: {0, 0}, Emit: {1, 0},
+}
+
+func verifyMethod(m *Module, name string, meth *Method, known func(mod, method string) (*Method, bool)) error {
+	errf := func(pc int, format string, args ...any) error {
+		return &verifyErr{Module: m.Name, Method: name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	}
+	n := len(meth.Code)
+	if n == 0 {
+		return errf(0, "empty body")
+	}
+	// Abstract interpretation of stack depth: depth[pc] = -1 unknown.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	type work struct{ pc, d int }
+	queue := []work{{0, 0}}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if w.pc < 0 || w.pc >= n {
+			return errf(w.pc, "control flow leaves the method without a return")
+		}
+		if depth[w.pc] != -1 {
+			if depth[w.pc] != w.d {
+				return errf(w.pc, "inconsistent stack depth (%d vs %d)", depth[w.pc], w.d)
+			}
+			continue
+		}
+		depth[w.pc] = w.d
+		in := meth.Code[w.pc]
+		d := w.d
+
+		switch in.Op {
+		case GetForeign:
+			if in.Mod != m.Name {
+				return errf(w.pc, "illegal static access to private field %s.%s", in.Mod, in.Name)
+			}
+			if _, ok := m.Fields[in.Name]; !ok {
+				return errf(w.pc, "no field %s", in.Name)
+			}
+		case GetField, PutField:
+			if _, ok := m.Fields[in.Name]; !ok {
+				return errf(w.pc, "no field %s", in.Name)
+			}
+		case LoadLocal, StoreLocal:
+			if in.A < 0 || int(in.A) >= meth.NArgs+meth.NLoc {
+				return errf(w.pc, "local slot %d out of range", in.A)
+			}
+		case Call:
+			callee, ok := known(in.Mod, in.Name)
+			if !ok {
+				return errf(w.pc, "call to unknown %s.%s", in.Mod, in.Name)
+			}
+			if !callee.Public && in.Mod != m.Name {
+				return errf(w.pc, "illegal static call to private method %s.%s", in.Mod, in.Name)
+			}
+			d -= callee.NArgs
+			if d < 0 {
+				return errf(w.pc, "stack underflow on call arguments")
+			}
+			d++ // the return value
+			queue = append(queue, work{w.pc + 1, d})
+			continue
+		}
+
+		eff, ok := effects[in.Op]
+		if !ok {
+			return errf(w.pc, "unknown opcode %d", in.Op)
+		}
+		d -= eff[0]
+		if d < 0 {
+			return errf(w.pc, "stack underflow")
+		}
+		d += eff[1]
+
+		switch in.Op {
+		case Ret, RetVoid:
+			continue // path ends
+		case Jmp:
+			if in.A < 0 || int(in.A) >= n {
+				return errf(w.pc, "branch target %d out of range", in.A)
+			}
+			queue = append(queue, work{int(in.A), d})
+		case Jz:
+			if in.A < 0 || int(in.A) >= n {
+				return errf(w.pc, "branch target %d out of range", in.A)
+			}
+			queue = append(queue, work{int(in.A), d}, work{w.pc + 1, d})
+		default:
+			queue = append(queue, work{w.pc + 1, d})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectVerifyErr(t *testing.T, mods []*Module, wantSub string) {
+	t.Helper()
+	_, err := Link(mods...)
+	if err == nil {
+		t.Fatalf("verifier accepted module, want error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q missing %q", err, wantSub)
+	}
+}
+
+func TestVerifierAcceptsHonestModules(t *testing.T) {
+	vm, err := Link(vaultModule(), sumLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := vm.Invoke("kernels", "sum", 10); err != nil || v != 45 {
+		t.Fatalf("%d %v", v, err)
+	}
+}
+
+func TestVerifierRejectsForeignFieldStatically(t *testing.T) {
+	// The JVM-style property: the scraping bytecode never even loads.
+	expectVerifyErr(t, []*Module{vaultModule(), attackerModule()}, "private field")
+}
+
+func TestVerifierRejectsPrivateCallStatically(t *testing.T) {
+	evil := &Module{
+		Name:   "evil",
+		Fields: map[string]uint32{},
+		Methods: map[string]*Method{
+			"go": {Name: "go", Public: true,
+				Code: []Instr{
+					{Op: Call, Mod: "vault", Name: "internal_reset"},
+					{Op: Ret},
+				}},
+		},
+	}
+	expectVerifyErr(t, []*Module{vaultModule(), evil}, "private method")
+}
+
+func mod1(name string, code []Instr, nargs, nloc int) *Module {
+	return &Module{
+		Name:   name,
+		Fields: map[string]uint32{"f": 0},
+		Methods: map[string]*Method{
+			"m": {Name: "m", Public: true, NArgs: nargs, NLoc: nloc, Code: code},
+		},
+	}
+}
+
+func TestVerifierStaticChecks(t *testing.T) {
+	cases := []struct {
+		name    string
+		code    []Instr
+		wantSub string
+	}{
+		{"underflow", []Instr{{Op: Add}, {Op: Ret}}, "underflow"},
+		{"fallthrough", []Instr{{Op: Push, A: 1}, {Op: Pop}}, "without a return"},
+		{"bad branch", []Instr{{Op: Jmp, A: 99}}, "out of range"},
+		{"bad local", []Instr{{Op: LoadLocal, A: 7}, {Op: Ret}}, "out of range"},
+		{"bad field", []Instr{{Op: GetField, Name: "nope"}, {Op: Ret}}, "no field"},
+		{"unknown callee", []Instr{{Op: Call, Mod: "x", Name: "y"}, {Op: Ret}}, "unknown"},
+		{"empty", nil, "empty"},
+		{"inconsistent depth", []Instr{
+			{Op: Push, A: 1}, // 0: d=0 -> 1
+			{Op: Jz, A: 0},   // 1: pops -> 0; branch to 0 with d=0 ok, fall to 2 with 0
+			{Op: Push, A: 1}, // 2: d=0 -> 1
+			{Op: Jz, A: 2},   // 3: -> 0; branch to 2 with d 0 (ok) ...
+			{Op: Push, A: 5}, // 4
+			{Op: Push, A: 6}, // 5
+			{Op: Jmp, A: 2},  // 6: reach 2 with depth 2 != 0
+		}, "inconsistent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectVerifyErr(t, []*Module{mod1("m", tc.code, 1, 1)}, tc.wantSub)
+		})
+	}
+}
+
+func TestVerifiedProgramRuns(t *testing.T) {
+	vm, err := Link(vaultModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Invoke("vault", "get_secret", 1234)
+	if err != nil || got != 666 {
+		t.Fatalf("%d %v", got, err)
+	}
+}

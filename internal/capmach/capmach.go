@@ -1,0 +1,409 @@
+// Package capmach models a capability machine (the paper's Section IV-A,
+// citing CHERI [21]): a processor where memory is addressed not by forgeable
+// integers but by *capabilities* — unforgeable fat pointers carrying base,
+// length, permissions, and a cursor, stored in tagged registers and tagged
+// memory.
+//
+// The model captures the properties the paper's argument needs:
+//
+//   - provenance: capabilities can only be derived from existing ones, and
+//     derivation can only shrink authority (bounds, permissions);
+//   - tagged memory: storing data over a capability clears its tag, and an
+//     untagged word used as a capability traps — integers cannot be turned
+//     into pointers;
+//   - sealing: a capability pair (code, data) can be sealed under an object
+//     type; sealed capabilities are opaque and only CInvoke can unseal them,
+//     jumping to the code capability with the data capability installed —
+//     a hardware-enforced module boundary (the secret module's data is
+//     reachable only while its code runs).
+//
+// Unlike internal/isa, this machine is a semantic model: programs are
+// slices of Instr structs rather than encoded bytes. The isolation
+// argument lives in the evaluation rules, not in an encoding.
+package capmach
+
+import "fmt"
+
+// Perm is a capability permission set.
+type Perm uint8
+
+// Capability permissions.
+const (
+	PermR Perm = 1 << iota // load
+	PermW                  // store
+	PermX                  // execute (usable as jump target / PCC)
+)
+
+// Cap is a capability: authority over [Base, Base+Len) with a current
+// cursor, or a sealed, opaque capability.
+type Cap struct {
+	Base   uint32
+	Len    uint32
+	Cursor uint32
+	Perms  Perm
+	Sealed bool
+	OType  uint32 // object type when sealed
+}
+
+func (c Cap) String() string {
+	s := fmt.Sprintf("cap[%#x,+%#x)@%#x %s", c.Base, c.Len, c.Cursor, permString(c.Perms))
+	if c.Sealed {
+		s += fmt.Sprintf(" sealed(otype=%d)", c.OType)
+	}
+	return s
+}
+
+func permString(p Perm) string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// InBounds reports whether the cursor may be dereferenced.
+func (c Cap) InBounds() bool {
+	return c.Cursor >= c.Base && c.Cursor < c.Base+c.Len
+}
+
+// Word is one tagged machine word: either plain data or a capability.
+type Word struct {
+	IsCap bool
+	Val   uint32
+	Cap   Cap
+}
+
+// DataWord makes an untagged data word.
+func DataWord(v uint32) Word { return Word{Val: v} }
+
+// CapWord makes a tagged capability word.
+func CapWord(c Cap) Word { return Word{IsCap: true, Cap: c} }
+
+// TrapKind classifies capability traps.
+type TrapKind int
+
+// Trap kinds.
+const (
+	TrapTag       TrapKind = iota // untagged word used as capability
+	TrapBounds                    // dereference out of bounds
+	TrapPerm                      // missing permission
+	TrapSealed                    // sealed capability dereferenced/modified
+	TrapMonotonic                 // attempt to grow authority
+	TrapOType                     // CInvoke with mismatched object types
+	TrapBadInstr
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapTag:
+		return "tag"
+	case TrapBounds:
+		return "bounds"
+	case TrapPerm:
+		return "perm"
+	case TrapSealed:
+		return "sealed"
+	case TrapMonotonic:
+		return "monotonic"
+	case TrapOType:
+		return "otype"
+	default:
+		return "bad-instr"
+	}
+}
+
+// Trap is a capability fault. It satisfies error.
+type Trap struct {
+	Kind TrapKind
+	PC   int
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("capability trap at pc=%d: %s (%s)", t.PC, t.Kind, t.Msg)
+}
+
+// Op is an instruction operation.
+type Op uint8
+
+// Operations. Register operands index the 8 general registers.
+const (
+	// MovI rd, imm — load an integer (never a capability!).
+	MovI Op = iota
+	// Mov rd, rs — copy a register (data or capability).
+	Mov
+	// Add rd, rs — integer add (traps if either is a capability).
+	Add
+	// Sub rd, rs.
+	Sub
+	// CIncr rd, imm — move a capability's cursor (authority unchanged).
+	CIncr
+	// CSetBounds rd, rs, imm — derive from rs a capability with base =
+	// rs.Cursor, length = imm. Monotonic: must shrink.
+	CSetBounds
+	// CAndPerm rd, rs, imm — derive with perms = rs.Perms & imm.
+	CAndPerm
+	// CLoad rd, rs — rd = memory[rs.Cursor] through capability rs.
+	CLoad
+	// CStore rd, rs — memory[rd.Cursor] = rs through capability rd.
+	CStore
+	// CGetAddr rd, rs — read a capability's cursor as an integer. Legal
+	// (addresses may leak) but useless for access: integers have no tag.
+	CGetAddr
+	// CSeal rd, rs, imm — seal rs under object type imm.
+	CSeal
+	// CInvoke rc, rdta — jump to sealed code capability rc, atomically
+	// unsealing it and the sealed data capability rdta (same otype) into
+	// PCC and register idc (register 7).
+	CInvoke
+	// CRet rs — return: jump to the (unsealed, executable) capability rs.
+	CRet
+	// Bnz rd, off — branch by off if rd (integer) is non-zero.
+	Bnz
+	// Jmp off — unconditional relative branch.
+	Jmp
+	// Out rd — append rd's integer value to the machine's output.
+	Out
+	// Halt stops the machine.
+	Halt
+)
+
+// Instr is one instruction of the semantic model.
+type Instr struct {
+	Op  Op
+	Rd  int
+	Rs  int
+	Imm int64
+}
+
+// IDC is the register CInvoke installs the unsealed data capability in.
+const IDC = 7
+
+// Machine is a capability machine instance.
+type Machine struct {
+	Mem    []Word
+	Reg    [8]Word
+	PCC    Cap // must stay executable; Cursor indexes Prog
+	Prog   []Instr
+	Output []uint32
+	Steps  uint64
+}
+
+// New builds a machine with memSize tagged words and the program installed
+// with an all-program executable PCC.
+func New(memSize int, prog []Instr) *Machine {
+	return &Machine{
+		Mem:  make([]Word, memSize),
+		Prog: prog,
+		PCC:  Cap{Base: 0, Len: uint32(len(prog)), Cursor: 0, Perms: PermX},
+	}
+}
+
+func (m *Machine) trap(kind TrapKind, format string, args ...any) *Trap {
+	return &Trap{Kind: kind, PC: int(m.PCC.Cursor), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) intOf(r int) (uint32, *Trap) {
+	if m.Reg[r].IsCap {
+		return 0, m.trap(TrapTag, "r%d holds a capability, integer needed", r)
+	}
+	return m.Reg[r].Val, nil
+}
+
+func (m *Machine) capOf(r int) (Cap, *Trap) {
+	if !m.Reg[r].IsCap {
+		return Cap{}, m.trap(TrapTag, "r%d holds no capability", r)
+	}
+	return m.Reg[r].Cap, nil
+}
+
+// Step executes one instruction; it returns false when the machine halted
+// or trapped (err non-nil on trap).
+func (m *Machine) Step() (bool, error) {
+	pc := m.PCC.Cursor
+	if pc >= uint32(len(m.Prog)) || m.PCC.Perms&PermX == 0 {
+		return false, m.trap(TrapBounds, "pcc out of bounds")
+	}
+	in := m.Prog[pc]
+	m.Steps++
+	next := pc + 1
+
+	switch in.Op {
+	case MovI:
+		m.Reg[in.Rd] = DataWord(uint32(in.Imm))
+	case Mov:
+		m.Reg[in.Rd] = m.Reg[in.Rs]
+	case Add, Sub:
+		a, t := m.intOf(in.Rd)
+		if t != nil {
+			return false, t
+		}
+		b, t := m.intOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if in.Op == Add {
+			m.Reg[in.Rd] = DataWord(a + b)
+		} else {
+			m.Reg[in.Rd] = DataWord(a - b)
+		}
+	case CIncr:
+		c, t := m.capOf(in.Rd)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed {
+			return false, m.trap(TrapSealed, "cincr on sealed capability")
+		}
+		c.Cursor = uint32(int64(c.Cursor) + in.Imm)
+		m.Reg[in.Rd] = CapWord(c)
+	case CSetBounds:
+		c, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed {
+			return false, m.trap(TrapSealed, "csetbounds on sealed capability")
+		}
+		newLen := uint32(in.Imm)
+		// Monotonicity: the derived range must lie inside the parent.
+		if c.Cursor < c.Base || c.Cursor+newLen > c.Base+c.Len {
+			return false, m.trap(TrapMonotonic,
+				"derive [%#x,+%#x) exceeds parent %v", c.Cursor, newLen, c)
+		}
+		m.Reg[in.Rd] = CapWord(Cap{
+			Base: c.Cursor, Len: newLen, Cursor: c.Cursor, Perms: c.Perms,
+		})
+	case CAndPerm:
+		c, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed {
+			return false, m.trap(TrapSealed, "candperm on sealed capability")
+		}
+		c.Perms &= Perm(in.Imm)
+		m.Reg[in.Rd] = CapWord(c)
+	case CLoad:
+		c, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed {
+			return false, m.trap(TrapSealed, "load through sealed capability")
+		}
+		if c.Perms&PermR == 0 {
+			return false, m.trap(TrapPerm, "load without R on %v", c)
+		}
+		if !c.InBounds() || c.Cursor >= uint32(len(m.Mem)) {
+			return false, m.trap(TrapBounds, "load at %v", c)
+		}
+		m.Reg[in.Rd] = m.Mem[c.Cursor]
+	case CStore:
+		c, t := m.capOf(in.Rd)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed {
+			return false, m.trap(TrapSealed, "store through sealed capability")
+		}
+		if c.Perms&PermW == 0 {
+			return false, m.trap(TrapPerm, "store without W on %v", c)
+		}
+		if !c.InBounds() || c.Cursor >= uint32(len(m.Mem)) {
+			return false, m.trap(TrapBounds, "store at %v", c)
+		}
+		m.Mem[c.Cursor] = m.Reg[in.Rs]
+	case CGetAddr:
+		c, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		m.Reg[in.Rd] = DataWord(c.Cursor)
+	case CSeal:
+		c, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed {
+			return false, m.trap(TrapSealed, "double seal")
+		}
+		c.Sealed = true
+		c.OType = uint32(in.Imm)
+		m.Reg[in.Rd] = CapWord(c)
+	case CInvoke:
+		cc, t := m.capOf(in.Rd)
+		if t != nil {
+			return false, t
+		}
+		dc, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if !cc.Sealed || !dc.Sealed {
+			return false, m.trap(TrapSealed, "cinvoke needs sealed pair")
+		}
+		if cc.OType != dc.OType {
+			return false, m.trap(TrapOType, "otype mismatch %d != %d", cc.OType, dc.OType)
+		}
+		if cc.Perms&PermX == 0 {
+			return false, m.trap(TrapPerm, "code capability not executable")
+		}
+		cc.Sealed, dc.Sealed = false, false
+		m.Reg[IDC] = CapWord(dc)
+		m.PCC = cc
+		return true, nil
+	case CRet:
+		c, t := m.capOf(in.Rs)
+		if t != nil {
+			return false, t
+		}
+		if c.Sealed || c.Perms&PermX == 0 {
+			return false, m.trap(TrapPerm, "cret needs unsealed executable capability")
+		}
+		m.PCC = c
+		return true, nil
+	case Bnz:
+		v, t := m.intOf(in.Rd)
+		if t != nil {
+			return false, t
+		}
+		if v != 0 {
+			next = uint32(int64(next) + in.Imm)
+		}
+	case Jmp:
+		next = uint32(int64(next) + in.Imm)
+	case Out:
+		v, t := m.intOf(in.Rd)
+		if t != nil {
+			return false, t
+		}
+		m.Output = append(m.Output, v)
+	case Halt:
+		return false, nil
+	default:
+		return false, m.trap(TrapBadInstr, "op %d", in.Op)
+	}
+	m.PCC.Cursor = next
+	return true, nil
+}
+
+// Run executes until halt, trap, or maxSteps.
+func (m *Machine) Run(maxSteps uint64) error {
+	for m.Steps < maxSteps {
+		ok, err := m.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("capmach: step limit")
+}

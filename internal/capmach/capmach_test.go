@@ -1,0 +1,295 @@
+package capmach
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func trapKind(t *testing.T, err error) TrapKind {
+	t.Helper()
+	var tr *Trap
+	if !errors.As(err, &tr) {
+		t.Fatalf("want Trap, got %v", err)
+	}
+	return tr.Kind
+}
+
+func TestBasicDataFlow(t *testing.T) {
+	m := New(16, []Instr{
+		{Op: MovI, Rd: 0, Imm: 40},
+		{Op: MovI, Rd: 1, Imm: 2},
+		{Op: Add, Rd: 0, Rs: 1},
+		{Op: Out, Rd: 0},
+		{Op: Halt},
+	})
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 42 {
+		t.Fatalf("output %v", m.Output)
+	}
+}
+
+// rootCap grants full access to all of memory — the firmware's root of
+// derivation.
+func rootCap(memSize int) Cap {
+	return Cap{Base: 0, Len: uint32(memSize), Cursor: 0, Perms: PermR | PermW}
+}
+
+func TestLoadStoreThroughCapability(t *testing.T) {
+	m := New(16, []Instr{
+		{Op: MovI, Rd: 1, Imm: 7},
+		{Op: CIncr, Rd: 0, Imm: 5}, // cursor to word 5
+		{Op: CStore, Rd: 0, Rs: 1},
+		{Op: CLoad, Rd: 2, Rs: 0},
+		{Op: Out, Rd: 2},
+		{Op: Halt},
+	})
+	m.Reg[0] = CapWord(rootCap(16))
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 7 {
+		t.Fatalf("output %v", m.Output)
+	}
+}
+
+func TestIntegersAreNotPointers(t *testing.T) {
+	// The machine-code attacker's favorite move — fabricate an address —
+	// is a type error here: an integer has no tag.
+	m := New(16, []Instr{
+		{Op: MovI, Rd: 0, Imm: 5}, // "address" 5, as an integer
+		{Op: CLoad, Rd: 1, Rs: 0},
+	})
+	err := m.Run(100)
+	if trapKind(t, err) != TrapTag {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestBoundsEnforced(t *testing.T) {
+	m := New(16, []Instr{
+		{Op: CSetBounds, Rd: 1, Rs: 0, Imm: 4}, // words [0,4)
+		{Op: CIncr, Rd: 1, Imm: 4},             // one past the end
+		{Op: CLoad, Rd: 2, Rs: 1},
+	})
+	m.Reg[0] = CapWord(rootCap(16))
+	err := m.Run(100)
+	if trapKind(t, err) != TrapBounds {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestMonotonicDerivation(t *testing.T) {
+	// Authority can only shrink: deriving a longer capability traps.
+	m := New(16, []Instr{
+		{Op: CSetBounds, Rd: 1, Rs: 0, Imm: 4},
+		{Op: CSetBounds, Rd: 2, Rs: 1, Imm: 8}, // wider than parent
+	})
+	m.Reg[0] = CapWord(rootCap(16))
+	err := m.Run(100)
+	if trapKind(t, err) != TrapMonotonic {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestPermissionsShrinkOnly(t *testing.T) {
+	m := New(16, []Instr{
+		{Op: CAndPerm, Rd: 1, Rs: 0, Imm: int64(PermR)}, // read-only view
+		{Op: MovI, Rd: 2, Imm: 1},
+		{Op: CStore, Rd: 1, Rs: 2}, // write through R-only cap
+	})
+	m.Reg[0] = CapWord(rootCap(16))
+	err := m.Run(100)
+	if trapKind(t, err) != TrapPerm {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestTagClearedByDataOverwrite(t *testing.T) {
+	// Storing data over a capability in memory clears its tag: reloading
+	// it yields an integer, not authority.
+	m := New(16, []Instr{
+		// mem[0] = root capability (via r0 cursor at 0)
+		{Op: CStore, Rd: 0, Rs: 0},
+		// overwrite mem[0] with plain data
+		{Op: MovI, Rd: 1, Imm: 0x1234},
+		{Op: CStore, Rd: 0, Rs: 1},
+		// reload and try to use as a capability
+		{Op: CLoad, Rd: 2, Rs: 0},
+		{Op: CLoad, Rd: 3, Rs: 2}, // r2 is data now: tag trap
+	})
+	m.Reg[0] = CapWord(rootCap(16))
+	err := m.Run(100)
+	if trapKind(t, err) != TrapTag {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestLeakedAddressIsUseless(t *testing.T) {
+	// CGetAddr leaks the integer address of the secret — and it buys the
+	// attacker nothing (contrast with the flat machine, where the leaked
+	// address is all you need).
+	m := New(16, []Instr{
+		{Op: CGetAddr, Rd: 1, Rs: 0}, // leak the address
+		{Op: CLoad, Rd: 2, Rs: 1},    // try to use it
+	})
+	m.Reg[0] = CapWord(rootCap(16))
+	err := m.Run(100)
+	if trapKind(t, err) != TrapTag {
+		t.Fatalf("err %v", err)
+	}
+}
+
+// buildSecretModule constructs the pin-vault as a sealed-capability
+// compartment. Layout: mem[0] = secret (666); module code at prog[modEntry].
+// The client holds only the sealed pair; register conventions:
+//
+//	r0 = sealed code cap, r1 = sealed data cap (client's view)
+//	r6 = return capability (set by client before CInvoke)
+func buildSecretMachine(clientProg []Instr, modEntry uint32, otype uint32) *Machine {
+	// Module code: read the secret through IDC, add 1 (a "computation"),
+	// output the result, return.
+	module := []Instr{
+		{Op: CLoad, Rd: 2, Rs: IDC}, // the secret, reachable only here
+		{Op: MovI, Rd: 3, Imm: 1},
+		{Op: Add, Rd: 2, Rs: 3},
+		{Op: Out, Rd: 2},
+		{Op: CRet, Rs: 6},
+	}
+	prog := append(append([]Instr{}, clientProg...), module...)
+	m := New(16, prog)
+	m.Mem[0] = DataWord(666)
+
+	dataCap := Cap{Base: 0, Len: 1, Cursor: 0, Perms: PermR, Sealed: true, OType: otype}
+	codeCap := Cap{Base: modEntry, Len: uint32(len(module)), Cursor: modEntry,
+		Perms: PermX, Sealed: true, OType: otype}
+	m.Reg[0] = CapWord(codeCap)
+	m.Reg[1] = CapWord(dataCap)
+	return m
+}
+
+func TestSealedCompartmentInvocation(t *testing.T) {
+	client := []Instr{
+		// r6 = return capability: executable cap to the client's code.
+		{Op: Mov, Rd: 6, Rs: 5},
+		{Op: CInvoke, Rd: 0, Rs: 1},
+		{Op: Halt}, // module returns here (pc=2)
+	}
+	m := buildSecretMachine(client, 3, 42)
+	ret := m.PCC
+	ret.Cursor = 2
+	m.Reg[5] = CapWord(ret)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 667 {
+		t.Fatalf("output %v, want the module's computed 667", m.Output)
+	}
+}
+
+func TestClientCannotTouchSealedData(t *testing.T) {
+	// Loading through the sealed data capability traps: the secret is
+	// reachable only by invoking the module.
+	client := []Instr{
+		{Op: CLoad, Rd: 2, Rs: 1}, // direct access to sealed data cap
+	}
+	m := buildSecretMachine(client, 1, 42)
+	err := m.Run(100)
+	if trapKind(t, err) != TrapSealed {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestClientCannotUnsealByModification(t *testing.T) {
+	// Every modification of a sealed capability traps.
+	for _, in := range []Instr{
+		{Op: CIncr, Rd: 1, Imm: 1},
+		{Op: CSetBounds, Rd: 2, Rs: 1, Imm: 1},
+		{Op: CAndPerm, Rd: 2, Rs: 1, Imm: int64(PermR)},
+	} {
+		m := buildSecretMachine([]Instr{in}, 1, 42)
+		err := m.Run(100)
+		if trapKind(t, err) != TrapSealed {
+			t.Fatalf("%+v: err %v", in, err)
+		}
+	}
+}
+
+func TestCInvokeRequiresMatchingOTypes(t *testing.T) {
+	// Mixing a code capability of one compartment with the data of
+	// another traps: compartments cannot be cross-wired.
+	client := []Instr{
+		{Op: CInvoke, Rd: 0, Rs: 1},
+	}
+	m := buildSecretMachine(client, 1, 42)
+	// Re-seal the data capability under a different object type.
+	dc := m.Reg[1].Cap
+	dc.OType = 43
+	m.Reg[1] = CapWord(dc)
+	err := m.Run(100)
+	if trapKind(t, err) != TrapOType {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestCInvokeNeedsSealedPair(t *testing.T) {
+	m := New(16, []Instr{
+		{Op: CInvoke, Rd: 0, Rs: 1},
+	})
+	m.Reg[0] = CapWord(Cap{Base: 0, Len: 1, Perms: PermX}) // unsealed
+	m.Reg[1] = CapWord(Cap{Base: 0, Len: 1, Sealed: true, OType: 1})
+	err := m.Run(100)
+	if trapKind(t, err) != TrapSealed {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestPCCBoundsEnforced(t *testing.T) {
+	// Running off the end of the program traps (no falling into data).
+	m := New(4, []Instr{{Op: MovI, Rd: 0, Imm: 1}})
+	err := m.Run(100)
+	if trapKind(t, err) != TrapBounds {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestCapabilityArithmeticRejected(t *testing.T) {
+	m := New(4, []Instr{
+		{Op: Add, Rd: 0, Rs: 1}, // r0 is a capability
+	})
+	m.Reg[0] = CapWord(rootCap(4))
+	m.Reg[1] = DataWord(1)
+	err := m.Run(100)
+	if trapKind(t, err) != TrapTag {
+		t.Fatalf("err %v", err)
+	}
+}
+
+// Property: no sequence of derivations can grow authority — the reachable
+// range of any derived capability stays within the parent's range.
+func TestMonotonicityProperty(t *testing.T) {
+	f := func(cursorShift int8, lenReq uint8) bool {
+		parent := Cap{Base: 4, Len: 8, Cursor: 4, Perms: PermR | PermW}
+		m := New(32, []Instr{
+			{Op: CIncr, Rd: 0, Imm: int64(cursorShift)},
+			{Op: CSetBounds, Rd: 1, Rs: 0, Imm: int64(lenReq)},
+			{Op: Halt},
+		})
+		m.Reg[0] = CapWord(parent)
+		err := m.Run(10)
+		if err != nil {
+			return true // trapped: fine, authority not granted
+		}
+		if !m.Reg[1].IsCap {
+			return true
+		}
+		d := m.Reg[1].Cap
+		// Derived authority must be inside the parent.
+		return d.Base >= parent.Base && d.Base+d.Len <= parent.Base+parent.Len
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

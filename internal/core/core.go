@@ -1,0 +1,197 @@
+// Package core is the scenario engine of the reproduction: it runs victim
+// programs under selectable countermeasure configurations against the
+// paper's two attacker models and classifies the result.
+//
+// The package operationalizes the paper's security objective — "the
+// compiled system should behave as specified in the source code" — as
+// machine-checkable oracles: an attack succeeded only if a predicate over
+// the final process state holds that source-level semantics rule out
+// (attacker-chosen code ran, a secret left the process without
+// authorization, a protected variable changed without the guarded path).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"softsec/internal/asm"
+	"softsec/internal/cpu"
+	"softsec/internal/kernel"
+	"softsec/internal/minc"
+)
+
+// Outcome classifies one scenario run.
+type Outcome int
+
+const (
+	// Normal: clean exit, attacker goal not reached.
+	Normal Outcome = iota
+	// Compromised: the attacker's oracle predicate holds.
+	Compromised
+	// Detected: a deployed countermeasure caught the attack and aborted
+	// (canary fail-fast, bounds violation, secure-compilation guard,
+	// PMA access-control fault).
+	Detected
+	// Crashed: the program died without reaching the attacker's goal and
+	// without an explicit detection — undefined behaviour petering out
+	// (e.g. a wild jump under ASLR).
+	Crashed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Normal:
+		return "normal"
+	case Compromised:
+		return "COMPROMISED"
+	case Detected:
+		return "detected"
+	case Crashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Mitigations selects the deployed exploit countermeasures of Section
+// III-C1/C2.
+type Mitigations struct {
+	// Canary compiles stack canaries into the victim.
+	Canary bool
+	// DEP maps code r-x and data rw- (off = historical rwx everywhere).
+	DEP bool
+	// ASLR randomizes segment bases with ASLRSeed.
+	ASLR     bool
+	ASLRSeed int64
+	// CanarySeed randomizes the canary value (zero = the predictable
+	// default canary).
+	CanarySeed int64
+	// Checked compiles the bounds-checked dialect and turns on the
+	// fortified libc (allocation-registry validation of read/write).
+	Checked bool
+	// ShadowStack enables CET-style hardware return-address protection —
+	// the CFI-family follow-up to the paper's countermeasure arsenal.
+	ShadowStack bool
+}
+
+// String renders a compact label like "canary+dep+aslr".
+func (m Mitigations) String() string {
+	s := ""
+	add := func(on bool, name string) {
+		if on {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(m.Canary, "canary")
+	add(m.DEP, "dep")
+	add(m.ASLR, "aslr")
+	add(m.Checked, "checked")
+	add(m.ShadowStack, "shadowstack")
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Oracle decides whether the attacker reached their goal.
+type Oracle func(p *kernel.Process, st cpu.State) bool
+
+// Scenario is one victim/attacker pairing.
+type Scenario struct {
+	Name string
+	// Source is the victim program (MinC).
+	Source string
+	// ExtraModules are linked after the victim (machine-code attacker
+	// modules, protected-module stubs, ...).
+	ExtraModules []*asm.Image
+	// Attacker feeds the victim's reads (the I/O attacker). Nil means no
+	// input.
+	Attacker kernel.InputSource
+	// Goal is the success oracle.
+	Goal Oracle
+	// MaxSteps overrides the default instruction budget when non-zero.
+	MaxSteps uint64
+}
+
+// Result is the classified outcome of a run.
+type Result struct {
+	Outcome Outcome
+	State   cpu.State
+	Exit    int32
+	Output  []byte
+	Proc    *kernel.Process
+}
+
+// BuildVictim compiles and links a scenario's program with the given
+// mitigations, without running it. Attack builders use it to perform
+// reconnaissance against their own copy of the binary (attackers know the
+// software they attack; what ASLR hides is the *loaded* layout).
+func BuildVictim(s Scenario, m Mitigations) (*kernel.Process, error) {
+	opt := minc.Options{Canary: m.Canary, BoundsCheck: m.Checked}
+	img, err := minc.Compile("victim", s.Source, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile victim: %w", err)
+	}
+	imgs := append([]*asm.Image{kernel.Libc(), img}, s.ExtraModules...)
+	ld, err := kernel.Link(imgs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: link: %w", err)
+	}
+	cfg := kernel.Config{
+		ShadowStack: m.ShadowStack,
+		DEP:         m.DEP,
+		ASLR:        m.ASLR,
+		ASLRSeed:    m.ASLRSeed,
+		CanarySeed:  m.CanarySeed,
+		CheckedLibc: m.Checked,
+		Input:       s.Attacker,
+		MaxSteps:    s.MaxSteps,
+	}
+	return kernel.Load(ld, cfg)
+}
+
+// Run executes the scenario under the mitigations and classifies it.
+func Run(s Scenario, m Mitigations) (Result, error) {
+	p, err := BuildVictim(s, m)
+	if err != nil {
+		return Result{}, err
+	}
+	st := p.Run()
+	r := Result{
+		State:  st,
+		Exit:   p.CPU.ExitCode(),
+		Output: p.Output.Bytes(),
+		Proc:   p,
+	}
+	r.Outcome = Classify(p, st, s.Goal)
+	return r, nil
+}
+
+// Classify maps a final process state to an Outcome. The goal predicate
+// dominates: if the attacker reached their goal, the run is Compromised
+// even if the process crashed afterwards.
+func Classify(p *kernel.Process, st cpu.State, goal Oracle) Outcome {
+	if goal != nil && goal(p, st) {
+		return Compromised
+	}
+	switch st {
+	case cpu.Exited, cpu.Halted:
+		return Normal
+	case cpu.Faulted:
+		f := p.CPU.Fault()
+		if f.Kind == cpu.FaultFailFast || f.Kind == cpu.FaultPolicy ||
+			f.Kind == cpu.FaultCFI {
+			return Detected
+		}
+		var bv *kernel.BoundsViolation
+		if errors.As(f.Err, &bv) {
+			return Detected
+		}
+		return Crashed
+	default: // StepLimit, Paused
+		return Crashed
+	}
+}

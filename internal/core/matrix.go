@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StandardConfigs are the countermeasure columns of the T1 matrix: from
+// the unprotected historical platform through today's default stack
+// (canary+DEP+ASLR) to the checked dialect of Section III-C2.
+func StandardConfigs() []Mitigations {
+	return []Mitigations{
+		{},
+		{Canary: true, CanarySeed: 7},
+		{DEP: true},
+		{ASLR: true, ASLRSeed: 42},
+		{Canary: true, CanarySeed: 7, DEP: true, ASLR: true, ASLRSeed: 42},
+		{Checked: true, DEP: true},
+	}
+}
+
+// Cell is one matrix entry.
+type Cell struct {
+	Attack     string
+	Mitigation string
+	Outcome    Outcome
+	Err        error
+}
+
+// Matrix is the result grid of attacks × mitigation configurations.
+type Matrix struct {
+	Attacks     []string
+	Mitigations []string
+	Cells       map[string]map[string]Cell // attack -> mitigation -> cell
+}
+
+// RunMatrix executes every attack under every configuration.
+func RunMatrix(attacks []AttackSpec, configs []Mitigations) *Matrix {
+	m := &Matrix{Cells: make(map[string]map[string]Cell)}
+	for _, cfg := range configs {
+		m.Mitigations = append(m.Mitigations, cfg.String())
+	}
+	for _, a := range attacks {
+		m.Attacks = append(m.Attacks, a.Name)
+		row := make(map[string]Cell)
+		for _, cfg := range configs {
+			cell := Cell{Attack: a.Name, Mitigation: cfg.String()}
+			s, err := a.Scenario(cfg)
+			if err != nil {
+				cell.Err = err
+			} else {
+				res, err := Run(s, cfg)
+				if err != nil {
+					cell.Err = err
+				} else {
+					cell.Outcome = res.Outcome
+				}
+			}
+			row[cfg.String()] = cell
+		}
+		m.Cells[a.Name] = row
+	}
+	return m
+}
+
+// Get returns the cell for (attack, mitigation label).
+func (m *Matrix) Get(attack, mitigation string) (Cell, bool) {
+	row, ok := m.Cells[attack]
+	if !ok {
+		return Cell{}, false
+	}
+	c, ok := row[mitigation]
+	return c, ok
+}
+
+// Render formats the matrix as an aligned text table (the reproduction's
+// T1/T3 artifacts).
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	w := 0
+	for _, a := range m.Attacks {
+		if len(a) > w {
+			w = len(a)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, "attack \\ defense")
+	if w+2 < len("attack \\ defense")+2 {
+		w = len("attack \\ defense")
+	}
+	b.Reset()
+	fmt.Fprintf(&b, "%-*s", w+2, "attack")
+	for _, mit := range m.Mitigations {
+		fmt.Fprintf(&b, " | %-16s", mit)
+	}
+	b.WriteString("\n")
+	for _, a := range m.Attacks {
+		fmt.Fprintf(&b, "%-*s", w+2, a)
+		for _, mit := range m.Mitigations {
+			c := m.Cells[a][mit]
+			val := c.Outcome.String()
+			if c.Err != nil {
+				val = "ERROR"
+			}
+			fmt.Fprintf(&b, " | %-16s", val)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

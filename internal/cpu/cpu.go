@@ -1,0 +1,655 @@
+// Package cpu implements the SM32 processor: a fetch-decode-execute
+// interpreter over internal/isa instructions and internal/mem memory.
+//
+// The CPU is where the two enforcement layers of the paper live:
+//
+//   - page permissions are checked on every access by internal/mem (this is
+//     what makes Data Execution Prevention real: executing injected bytes on
+//     a writable page faults in Fetch);
+//   - an optional Policy receives every memory access and every instruction-
+//     pointer movement, which is exactly the hook a Protected Module
+//     Architecture needs to implement the paper's three access-control rules
+//     (Section IV-A). The CPU itself knows nothing about modules.
+package cpu
+
+import (
+	"fmt"
+
+	"softsec/internal/isa"
+	"softsec/internal/mem"
+)
+
+// Flags is the SM32 condition-code register.
+type Flags struct {
+	Z bool // zero
+	S bool // sign
+	C bool // carry / unsigned borrow
+	O bool // signed overflow
+}
+
+// State describes why the CPU is not (or no longer) executing.
+type State int
+
+const (
+	// Running: the CPU can execute further instructions.
+	Running State = iota
+	// Halted: an HLT instruction was retired (bare-metal tests).
+	Halted
+	// Exited: a trap handler requested termination with an exit code.
+	Exited
+	// Faulted: execution stopped at a fault; Fault() describes it.
+	Faulted
+	// Paused: a breakpoint was hit; Resume() continues.
+	Paused
+	// StepLimit: Run exhausted its instruction budget.
+	StepLimit
+)
+
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Halted:
+		return "halted"
+	case Exited:
+		return "exited"
+	case Faulted:
+		return "faulted"
+	case Paused:
+		return "paused"
+	case StepLimit:
+		return "step-limit"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// FaultKind classifies CPU faults.
+type FaultKind int
+
+const (
+	// FaultMemory wraps a mem.Fault (unmapped or permission violation).
+	FaultMemory FaultKind = iota
+	// FaultPolicy is an access-control violation raised by the installed
+	// Policy (e.g. a PMA rule).
+	FaultPolicy
+	// FaultDecode is an invalid or truncated instruction.
+	FaultDecode
+	// FaultDivide is a division (or modulus) by zero.
+	FaultDivide
+	// FaultFailFast is INT 0x29: a defensive check (stack canary, secure-
+	// compilation guard) detected corruption and aborted.
+	FaultFailFast
+	// FaultTrap is the one-byte TRAP (0xCC) instruction.
+	FaultTrap
+	// FaultNoHandler is an INT with no trap handler installed.
+	FaultNoHandler
+	// FaultCFI is a shadow-stack mismatch: a RET tried to transfer to an
+	// address other than the one its matching CALL recorded — the
+	// signature of every return-address hijack (hardware-assisted
+	// control-flow integrity in the style of Intel CET; the natural next
+	// step after the paper's Section III-C countermeasures).
+	FaultCFI
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMemory:
+		return "memory"
+	case FaultPolicy:
+		return "policy"
+	case FaultDecode:
+		return "decode"
+	case FaultDivide:
+		return "divide"
+	case FaultFailFast:
+		return "fail-fast"
+	case FaultTrap:
+		return "trap"
+	case FaultNoHandler:
+		return "no-handler"
+	case FaultCFI:
+		return "cfi-shadow-stack"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault describes why the CPU faulted. It satisfies error.
+type Fault struct {
+	Kind FaultKind
+	IP   uint32 // address of the faulting instruction
+	Err  error  // underlying mem/policy error, when any
+}
+
+func (f *Fault) Error() string {
+	if f.Err != nil {
+		return fmt.Sprintf("cpu fault at 0x%08x: %s: %v", f.IP, f.Kind, f.Err)
+	}
+	return fmt.Sprintf("cpu fault at 0x%08x: %s", f.IP, f.Kind)
+}
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Policy receives every memory access and instruction-pointer movement.
+// Implementations return a non-nil error to deny the operation, which the
+// CPU converts into a FaultPolicy. internal/pma provides the Protected
+// Module Architecture policy; a nil Policy allows everything, which is the
+// "classic" machine of Section III.
+type Policy interface {
+	// CheckRead authorizes a data read of size bytes at addr by the
+	// instruction at ip.
+	CheckRead(ip, addr uint32, size int) error
+	// CheckWrite authorizes a data write of size bytes at addr.
+	CheckWrite(ip, addr uint32, size int) error
+	// CheckExec authorizes moving the instruction pointer from the
+	// instruction at from to the instruction at to. It is invoked for
+	// every retirement, including sequential fall-through, so a policy
+	// can enforce "the only way in is a designated entry point".
+	CheckExec(from, to uint32) error
+}
+
+// TrapHandler services INT instructions (syscalls). The kernel installs
+// one; vector is the INT operand. Returning an error faults the CPU.
+type TrapHandler interface {
+	Trap(c *CPU, vector uint8) error
+}
+
+// CPU is one SM32 hardware thread. Create with New; the zero value is not
+// usable because it has no memory.
+type CPU struct {
+	Mem *mem.Memory
+	Reg [isa.NumRegs]uint32
+	IP  uint32
+	F   Flags
+
+	// Policy, when non-nil, is consulted on every access (see Policy).
+	Policy Policy
+	// Handler services INT instructions.
+	Handler TrapHandler
+	// Tracer, when non-nil, observes every instruction before execution.
+	Tracer func(ip uint32, in isa.Instr)
+
+	// Steps counts retired instructions; benchmark tables report
+	// countermeasure overheads in this deterministic unit.
+	Steps uint64
+
+	// ShadowStack, when true, makes the CPU keep a protected copy of
+	// every pushed return address and fault any RET whose target
+	// disagrees — return-oriented control-flow hijacks become detected
+	// faults instead of silent transfers.
+	ShadowStack bool
+	shadow      []uint32
+
+	breaks    map[uint32]bool
+	state     State
+	exitCode  int32
+	fault     *Fault
+	skipBreak bool
+}
+
+// New returns a CPU attached to m, in the Running state with zeroed
+// registers.
+func New(m *mem.Memory) *CPU {
+	return &CPU{Mem: m, state: Running}
+}
+
+// StateOf returns the current execution state.
+func (c *CPU) StateOf() State { return c.state }
+
+// ExitCode returns the code passed to Exit; meaningful when StateOf is
+// Exited.
+func (c *CPU) ExitCode() int32 { return c.exitCode }
+
+// Fault returns the fault that stopped execution, or nil.
+func (c *CPU) Fault() *Fault { return c.fault }
+
+// Exit stops execution with the given code. Trap handlers call this to
+// implement the exit syscall.
+func (c *CPU) Exit(code int32) {
+	c.state = Exited
+	c.exitCode = code
+}
+
+// SetBreak arms (or disarms) a breakpoint at addr. Run pauses with state
+// Paused when the instruction pointer reaches an armed address, before the
+// instruction executes — this is how the Figure 1 run-time snapshot is
+// taken "at the point where it has just entered the get_request function".
+func (c *CPU) SetBreak(addr uint32, on bool) {
+	if c.breaks == nil {
+		c.breaks = make(map[uint32]bool)
+	}
+	if on {
+		c.breaks[addr] = true
+	} else {
+		delete(c.breaks, addr)
+	}
+}
+
+// Resume continues from a Paused state, executing the instruction under the
+// breakpoint.
+func (c *CPU) Resume() {
+	if c.state == Paused {
+		c.state = Running
+		c.skipBreak = true
+	}
+}
+
+func (c *CPU) setFault(kind FaultKind, ip uint32, err error) {
+	c.state = Faulted
+	c.fault = &Fault{Kind: kind, IP: ip, Err: err}
+}
+
+func (c *CPU) readMem(addr uint32, size int) (uint32, bool) {
+	if c.Policy != nil {
+		if err := c.Policy.CheckRead(c.IP, addr, size); err != nil {
+			c.setFault(FaultPolicy, c.IP, err)
+			return 0, false
+		}
+	}
+	var v uint32
+	var err error
+	if size == 1 {
+		var b byte
+		b, err = c.Mem.Read8(addr)
+		v = uint32(b)
+	} else {
+		v, err = c.Mem.Read32(addr)
+	}
+	if err != nil {
+		c.setFault(FaultMemory, c.IP, err)
+		return 0, false
+	}
+	return v, true
+}
+
+func (c *CPU) writeMem(addr uint32, v uint32, size int) bool {
+	if c.Policy != nil {
+		if err := c.Policy.CheckWrite(c.IP, addr, size); err != nil {
+			c.setFault(FaultPolicy, c.IP, err)
+			return false
+		}
+	}
+	var err error
+	if size == 1 {
+		err = c.Mem.Write8(addr, byte(v))
+	} else {
+		err = c.Mem.Write32(addr, v)
+	}
+	if err != nil {
+		c.setFault(FaultMemory, c.IP, err)
+		return false
+	}
+	return true
+}
+
+// Push pushes v on the stack (ESP -= 4, then store). Exported for trap
+// handlers and loaders that set up initial frames.
+func (c *CPU) Push(v uint32) bool {
+	c.Reg[isa.ESP] -= 4
+	return c.writeMem(c.Reg[isa.ESP], v, 4)
+}
+
+// Pop pops the top of stack into v.
+func (c *CPU) Pop() (uint32, bool) {
+	v, ok := c.readMem(c.Reg[isa.ESP], 4)
+	if !ok {
+		return 0, false
+	}
+	c.Reg[isa.ESP] += 4
+	return v, true
+}
+
+// fetch reads and decodes the instruction at IP.
+func (c *CPU) fetch() (isa.Instr, bool) {
+	b0, err := c.Mem.Fetch8(c.IP)
+	if err != nil {
+		c.setFault(FaultMemory, c.IP, err)
+		return isa.Instr{}, false
+	}
+	n, ok := isa.LenFromOpcode(b0)
+	if !ok {
+		c.setFault(FaultDecode, c.IP, &isa.DecodeErr{Addr: c.IP, Opcode: b0})
+		return isa.Instr{}, false
+	}
+	buf := make([]byte, n)
+	buf[0] = b0
+	for i := 1; i < n; i++ {
+		bi, err := c.Mem.Fetch8(c.IP + uint32(i))
+		if err != nil {
+			c.setFault(FaultMemory, c.IP, err)
+			return isa.Instr{}, false
+		}
+		buf[i] = bi
+	}
+	in, err := isa.Decode(buf, c.IP)
+	if err != nil {
+		c.setFault(FaultDecode, c.IP, err)
+		return isa.Instr{}, false
+	}
+	return in, true
+}
+
+// setArith updates flags for an addition result.
+func (c *CPU) setAdd(a, b, r uint32) {
+	c.F.Z = r == 0
+	c.F.S = int32(r) < 0
+	c.F.C = r < a
+	c.F.O = (int32(a) >= 0) == (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+}
+
+// setSub updates flags for a-b.
+func (c *CPU) setSub(a, b, r uint32) {
+	c.F.Z = r == 0
+	c.F.S = int32(r) < 0
+	c.F.C = a < b
+	c.F.O = (int32(a) >= 0) != (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+}
+
+// setLogic updates flags for a bitwise result.
+func (c *CPU) setLogic(r uint32) {
+	c.F.Z = r == 0
+	c.F.S = int32(r) < 0
+	c.F.C = false
+	c.F.O = false
+}
+
+// transfer moves the instruction pointer to target, consulting the policy.
+func (c *CPU) transfer(from, to uint32) bool {
+	if c.Policy != nil {
+		if err := c.Policy.CheckExec(from, to); err != nil {
+			c.setFault(FaultPolicy, from, err)
+			return false
+		}
+	}
+	c.IP = to
+	return true
+}
+
+// Step executes one instruction. It returns true while the CPU remains
+// Running.
+func (c *CPU) Step() bool {
+	if c.state != Running {
+		return false
+	}
+	if !c.skipBreak && c.breaks[c.IP] {
+		c.state = Paused
+		return false
+	}
+	c.skipBreak = false
+
+	in, ok := c.fetch()
+	if !ok {
+		return false
+	}
+	if c.Tracer != nil {
+		c.Tracer(c.IP, in)
+	}
+
+	ip := c.IP
+	next := ip + uint32(in.Size)
+	r := &c.Reg
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HLT:
+		c.Steps++
+		c.state = Halted
+		return false
+	case isa.TRAP:
+		c.Steps++
+		c.setFault(FaultTrap, ip, nil)
+		return false
+	case isa.PUSH:
+		if !c.Push(r[in.Rd]) {
+			return false
+		}
+	case isa.PUSHI:
+		if !c.Push(in.Imm) {
+			return false
+		}
+	case isa.POP:
+		v, ok := c.Pop()
+		if !ok {
+			return false
+		}
+		r[in.Rd] = v
+	case isa.MOVI:
+		r[in.Rd] = in.Imm
+	case isa.MOV:
+		r[in.Rd] = r[in.Rs]
+	case isa.ADD:
+		a, b := r[in.Rd], r[in.Rs]
+		r[in.Rd] = a + b
+		c.setAdd(a, b, r[in.Rd])
+	case isa.ADDI:
+		a := r[in.Rd]
+		r[in.Rd] = a + in.Imm
+		c.setAdd(a, in.Imm, r[in.Rd])
+	case isa.SUB:
+		a, b := r[in.Rd], r[in.Rs]
+		r[in.Rd] = a - b
+		c.setSub(a, b, r[in.Rd])
+	case isa.SUBI:
+		a := r[in.Rd]
+		r[in.Rd] = a - in.Imm
+		c.setSub(a, in.Imm, r[in.Rd])
+	case isa.CMP:
+		c.setSub(r[in.Rd], r[in.Rs], r[in.Rd]-r[in.Rs])
+	case isa.CMPI:
+		c.setSub(r[in.Rd], in.Imm, r[in.Rd]-in.Imm)
+	case isa.TEST:
+		c.setLogic(r[in.Rd] & r[in.Rs])
+	case isa.AND:
+		r[in.Rd] &= r[in.Rs]
+		c.setLogic(r[in.Rd])
+	case isa.ANDI:
+		r[in.Rd] &= in.Imm
+		c.setLogic(r[in.Rd])
+	case isa.OR:
+		r[in.Rd] |= r[in.Rs]
+		c.setLogic(r[in.Rd])
+	case isa.ORI:
+		r[in.Rd] |= in.Imm
+		c.setLogic(r[in.Rd])
+	case isa.XOR:
+		r[in.Rd] ^= r[in.Rs]
+		c.setLogic(r[in.Rd])
+	case isa.XORI:
+		r[in.Rd] ^= in.Imm
+		c.setLogic(r[in.Rd])
+	case isa.IMUL:
+		r[in.Rd] = uint32(int32(r[in.Rd]) * int32(r[in.Rs]))
+		c.setLogic(r[in.Rd])
+	case isa.IDIV:
+		if r[in.Rs] == 0 {
+			c.Steps++
+			c.setFault(FaultDivide, ip, nil)
+			return false
+		}
+		// INT_MIN / -1 overflows; SM32 defines it as wrapping (returning
+		// INT_MIN), unlike x86's #DE — and unlike Go, which would panic.
+		if r[in.Rd] == 0x80000000 && r[in.Rs] == 0xFFFFFFFF {
+			r[in.Rd] = 0x80000000
+		} else {
+			r[in.Rd] = uint32(int32(r[in.Rd]) / int32(r[in.Rs]))
+		}
+		c.setLogic(r[in.Rd])
+	case isa.IMOD:
+		if r[in.Rs] == 0 {
+			c.Steps++
+			c.setFault(FaultDivide, ip, nil)
+			return false
+		}
+		if r[in.Rd] == 0x80000000 && r[in.Rs] == 0xFFFFFFFF {
+			r[in.Rd] = 0
+		} else {
+			r[in.Rd] = uint32(int32(r[in.Rd]) % int32(r[in.Rs]))
+		}
+		c.setLogic(r[in.Rd])
+	case isa.SHL:
+		r[in.Rd] <<= r[in.Rs] & 31
+		c.setLogic(r[in.Rd])
+	case isa.SHR:
+		r[in.Rd] >>= r[in.Rs] & 31
+		c.setLogic(r[in.Rd])
+	case isa.SAR:
+		r[in.Rd] = uint32(int32(r[in.Rd]) >> (r[in.Rs] & 31))
+		c.setLogic(r[in.Rd])
+	case isa.NEG:
+		a := r[in.Rd]
+		r[in.Rd] = -a
+		c.setSub(0, a, r[in.Rd])
+	case isa.NOT:
+		r[in.Rd] = ^r[in.Rd]
+	case isa.LEA:
+		r[in.Rd] = r[in.Rs] + in.Imm
+	case isa.LOADW:
+		v, ok := c.readMem(r[in.Rs]+in.Imm, 4)
+		if !ok {
+			return false
+		}
+		r[in.Rd] = v
+	case isa.LOADB:
+		v, ok := c.readMem(r[in.Rs]+in.Imm, 1)
+		if !ok {
+			return false
+		}
+		r[in.Rd] = v
+	case isa.STOREW:
+		if !c.writeMem(r[in.Rd]+in.Imm, r[in.Rs], 4) {
+			return false
+		}
+	case isa.STOREB:
+		if !c.writeMem(r[in.Rd]+in.Imm, r[in.Rs], 1) {
+			return false
+		}
+	case isa.LEAVE:
+		// esp = ebp; pop ebp — deallocates the activation record.
+		r[isa.ESP] = r[isa.EBP]
+		v, ok := c.Pop()
+		if !ok {
+			return false
+		}
+		r[isa.EBP] = v
+	case isa.CALL:
+		if !c.Push(next) {
+			return false
+		}
+		if c.ShadowStack {
+			c.shadow = append(c.shadow, next)
+		}
+		c.Steps++
+		return c.transfer(ip, next+in.Imm)
+	case isa.CALLR:
+		if !c.Push(next) {
+			return false
+		}
+		if c.ShadowStack {
+			c.shadow = append(c.shadow, next)
+		}
+		c.Steps++
+		return c.transfer(ip, r[in.Rd])
+	case isa.RET:
+		// Pops whatever word is on top of the stack into the
+		// instruction pointer — the mechanism stack smashing abuses.
+		v, ok := c.Pop()
+		if !ok {
+			return false
+		}
+		c.Steps++
+		if c.ShadowStack {
+			if len(c.shadow) == 0 {
+				c.setFault(FaultCFI, ip, fmt.Errorf("ret with empty shadow stack"))
+				return false
+			}
+			want := c.shadow[len(c.shadow)-1]
+			c.shadow = c.shadow[:len(c.shadow)-1]
+			if v != want {
+				c.setFault(FaultCFI, ip, fmt.Errorf(
+					"return address 0x%08x does not match shadow copy 0x%08x", v, want))
+				return false
+			}
+		}
+		return c.transfer(ip, v)
+	case isa.JMP:
+		c.Steps++
+		return c.transfer(ip, next+in.Imm)
+	case isa.JMPR:
+		c.Steps++
+		return c.transfer(ip, r[in.Rd])
+	case isa.JZ, isa.JNZ, isa.JL, isa.JG, isa.JLE, isa.JGE, isa.JB, isa.JA,
+		isa.JAE, isa.JBE:
+		c.Steps++
+		if c.cond(in.Op) {
+			return c.transfer(ip, next+in.Imm)
+		}
+		return c.transfer(ip, next)
+	case isa.INT:
+		c.Steps++
+		if in.Imm == 0x29 {
+			// Fail-fast: defensive checks (canaries, secure-
+			// compilation guards) abort here.
+			c.setFault(FaultFailFast, ip, nil)
+			return false
+		}
+		if c.Handler == nil {
+			c.setFault(FaultNoHandler, ip, nil)
+			return false
+		}
+		if err := c.Handler.Trap(c, uint8(in.Imm)); err != nil {
+			c.setFault(FaultTrap, ip, err)
+			return false
+		}
+		if c.state != Running {
+			return false
+		}
+		return c.transfer(ip, next)
+	default:
+		c.setFault(FaultDecode, ip, fmt.Errorf("unimplemented op %v", in.Op))
+		return false
+	}
+	c.Steps++
+	return c.transfer(ip, next)
+}
+
+func (c *CPU) cond(op isa.Op) bool {
+	f := c.F
+	switch op {
+	case isa.JZ:
+		return f.Z
+	case isa.JNZ:
+		return !f.Z
+	case isa.JL:
+		return f.S != f.O
+	case isa.JG:
+		return !f.Z && f.S == f.O
+	case isa.JLE:
+		return f.Z || f.S != f.O
+	case isa.JGE:
+		return f.S == f.O
+	case isa.JB:
+		return f.C
+	case isa.JA:
+		return !f.C && !f.Z
+	case isa.JAE:
+		return !f.C
+	case isa.JBE:
+		return f.C || f.Z
+	}
+	return false
+}
+
+// Run executes until the CPU leaves the Running state or maxSteps
+// instructions retire, and returns the final state.
+func (c *CPU) Run(maxSteps uint64) State {
+	budget := c.Steps + maxSteps
+	for c.state == Running {
+		if c.Steps >= budget {
+			c.state = StepLimit
+			break
+		}
+		c.Step()
+	}
+	return c.state
+}

@@ -1,0 +1,150 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"softsec/internal/isa"
+)
+
+// props_test.go checks the arithmetic and flag semantics of the
+// interpreter against Go's integer semantics, property-style: the
+// conditional-jump predicates must agree with the corresponding Go
+// comparisons for arbitrary operands. Exploits (and honest compilers)
+// both depend on these invariants.
+
+// evalCond runs "cmp a, b; jcc" and reports whether the branch was taken.
+func evalCond(t *testing.T, op isa.Op, a, b uint32) bool {
+	t.Helper()
+	c := newMachine(t, build(
+		isa.Instr{Op: isa.MOVI, Rd: isa.EAX, Imm: a},
+		isa.Instr{Op: isa.MOVI, Rd: isa.EBX, Imm: b},
+		isa.Instr{Op: isa.CMP, Rd: isa.EAX, Rs: isa.EBX},
+		isa.Instr{Op: op, Imm: 6}, // skip "mov ecx,0; hlt"
+		isa.Instr{Op: isa.MOVI, Rd: isa.ECX, Imm: 0},
+		isa.Instr{Op: isa.HLT},
+		isa.Instr{Op: isa.MOVI, Rd: isa.ECX, Imm: 1},
+		isa.Instr{Op: isa.HLT},
+	))
+	if st := c.Run(20); st != Halted {
+		t.Fatalf("state %v", st)
+	}
+	return c.Reg[isa.ECX] == 1
+}
+
+func TestConditionSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	preds := []struct {
+		op   isa.Op
+		want func(a, b uint32) bool
+	}{
+		{isa.JZ, func(a, b uint32) bool { return a == b }},
+		{isa.JNZ, func(a, b uint32) bool { return a != b }},
+		{isa.JL, func(a, b uint32) bool { return int32(a) < int32(b) }},
+		{isa.JG, func(a, b uint32) bool { return int32(a) > int32(b) }},
+		{isa.JLE, func(a, b uint32) bool { return int32(a) <= int32(b) }},
+		{isa.JGE, func(a, b uint32) bool { return int32(a) >= int32(b) }},
+		{isa.JB, func(a, b uint32) bool { return a < b }},
+		{isa.JA, func(a, b uint32) bool { return a > b }},
+		{isa.JAE, func(a, b uint32) bool { return a >= b }},
+		{isa.JBE, func(a, b uint32) bool { return a <= b }},
+	}
+	// Mix random operands with adversarial boundary values.
+	boundary := []uint32{0, 1, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFF}
+	for _, p := range preds {
+		for i := 0; i < 60; i++ {
+			var a, b uint32
+			if i < len(boundary)*len(boundary) {
+				a = boundary[i%len(boundary)]
+				b = boundary[i/len(boundary)]
+			} else {
+				a, b = rng.Uint32(), rng.Uint32()
+			}
+			got := evalCond(t, p.op, a, b)
+			if got != p.want(a, b) {
+				t.Fatalf("%v with a=0x%x b=0x%x: taken=%v, want %v",
+					p.op, a, b, got, p.want(a, b))
+			}
+		}
+	}
+}
+
+// TestArithmeticSemanticsProperty: ADD/SUB/IMUL/shifts match Go's two's
+// complement semantics.
+func TestArithmeticSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	evalBin := func(op isa.Op, a, b uint32) uint32 {
+		c := newMachine(t, build(
+			isa.Instr{Op: isa.MOVI, Rd: isa.EAX, Imm: a},
+			isa.Instr{Op: isa.MOVI, Rd: isa.EBX, Imm: b},
+			isa.Instr{Op: op, Rd: isa.EAX, Rs: isa.EBX},
+			isa.Instr{Op: isa.HLT},
+		))
+		if st := c.Run(10); st != Halted {
+			t.Fatalf("state %v", st)
+		}
+		return c.Reg[isa.EAX]
+	}
+	f := func(a, b uint32) bool {
+		if evalBin(isa.ADD, a, b) != a+b {
+			return false
+		}
+		if evalBin(isa.SUB, a, b) != a-b {
+			return false
+		}
+		if evalBin(isa.IMUL, a, b) != uint32(int32(a)*int32(b)) {
+			return false
+		}
+		sh := b & 31
+		if evalBin(isa.SHL, a, sh) != a<<sh {
+			return false
+		}
+		if evalBin(isa.SHR, a, sh) != a>>sh {
+			return false
+		}
+		if evalBin(isa.SAR, a, sh) != uint32(int32(a)>>sh) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDivisionSemantics: IDIV/IMOD are Go-truncated division, and the only
+// divide fault is /0 (SM32 defines INT_MIN/-1 as wrapping, unlike x86).
+func TestDivisionSemantics(t *testing.T) {
+	cases := []struct{ a, b uint32 }{
+		{100, 7}, {0xFFFFFF9C, 7} /* -100/7 */, {100, 0xFFFFFFF9}, /* 100/-7 */
+		{0xFFFFFF9C, 0xFFFFFFF9}, {7, 100}, {0x80000000, 0xFFFFFFFF},
+	}
+	for _, tc := range cases {
+		c := newMachine(t, build(
+			isa.Instr{Op: isa.MOVI, Rd: isa.EAX, Imm: tc.a},
+			isa.Instr{Op: isa.MOVI, Rd: isa.EBX, Imm: tc.b},
+			isa.Instr{Op: isa.MOV, Rd: isa.ECX, Rs: isa.EAX},
+			isa.Instr{Op: isa.IDIV, Rd: isa.ECX, Rs: isa.EBX},
+			isa.Instr{Op: isa.MOV, Rd: isa.EDX, Rs: isa.EAX},
+			isa.Instr{Op: isa.IMOD, Rd: isa.EDX, Rs: isa.EBX},
+			isa.Instr{Op: isa.HLT},
+		))
+		if st := c.Run(10); st != Halted {
+			t.Fatalf("%v: state %v fault %v", tc, st, c.Fault())
+		}
+		var wantQ, wantR uint32
+		if tc.a == 0x80000000 && tc.b == 0xFFFFFFFF {
+			wantQ, wantR = 0x80000000, 0 // defined wrapping, see cpu.go
+		} else {
+			wantQ = uint32(int32(tc.a) / int32(tc.b))
+			wantR = uint32(int32(tc.a) % int32(tc.b))
+		}
+		if c.Reg[isa.ECX] != wantQ || c.Reg[isa.EDX] != wantR {
+			t.Fatalf("%d/%d: got q=%d r=%d want q=%d r=%d",
+				int32(tc.a), int32(tc.b),
+				int32(c.Reg[isa.ECX]), int32(c.Reg[isa.EDX]),
+				int32(wantQ), int32(wantR))
+		}
+	}
+}

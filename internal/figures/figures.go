@@ -1,0 +1,384 @@
+// Package figures regenerates the paper's four figures from the running
+// simulator: the compilation pipeline and run-time state of Figure 1, the
+// flat-memory secret module of Figure 2 (and its scraping), the protected
+// module of Figure 3, and the function-pointer module of Figure 4 with its
+// exploit and defence. Each figure is produced as text by executing the
+// actual system — nothing is hard-coded but the source programs.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softsec/internal/asm"
+	"softsec/internal/attack"
+	"softsec/internal/cpu"
+	"softsec/internal/isa"
+	"softsec/internal/kernel"
+	"softsec/internal/minc"
+	"softsec/internal/pma"
+	"softsec/internal/securecomp"
+)
+
+// Fig1Source is the paper's Figure 1(a) program, verbatim up to MinC
+// syntax.
+const Fig1Source = `void get_request(int fd, char buf[]) {
+	read(fd, buf, 16);
+}
+
+void process(int fd) {
+	char buf[16];
+	get_request(fd, buf);
+	// Process the request (code not shown)
+}
+
+void main() {
+	int fd = 1;
+	// Initialize server, wait for a connection
+	// Accept connection, with file descriptor fd
+	// Finally, process the request:
+	process(fd);
+}`
+
+// Fig2Source is the paper's Figure 2 secret module, verbatim up to MinC
+// syntax.
+const Fig2Source = `static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int provided_pin) {
+	if (tries_left > 0) {
+		if (PIN == provided_pin) {
+			tries_left = 3;
+			return secret;
+		}
+		else { tries_left--; return 0; }
+	}
+	else return 0;
+}`
+
+// Fig4Source is the paper's Figure 4 variant: the PIN arrives through a
+// function pointer.
+const Fig4Source = `static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int get_pin()) {
+	if (tries_left > 0) {
+		if (PIN == get_pin()) {
+			tries_left = 3;
+			return secret;
+		}
+		else { tries_left--; return 0; }
+	}
+	else return 0;
+}`
+
+// build compiles and loads the Figure 1 program with one scripted request.
+func buildFig1() (*kernel.Process, error) {
+	img, err := minc.Compile("fig1", Fig1Source, minc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		return nil, err
+	}
+	in := kernel.ScriptInput{[]byte("ABCDEFGHIJKLMNO")}
+	return kernel.Load(ld, kernel.Config{DEP: true, Input: &in})
+}
+
+// Fig1 renders the three panels of the paper's Figure 1.
+func Fig1() (string, error) {
+	p, err := buildFig1()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	b.WriteString("(a) Program source code\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	b.WriteString(Fig1Source + "\n\n")
+
+	// Panel (b): machine code for process().
+	procAddr, _ := p.SymbolAddr("process")
+	reqAddr, _ := p.SymbolAddr("get_request")
+	mainAddr, _ := p.SymbolAddr("main")
+	end := mainAddr // functions are emitted in declaration order
+	if reqAddr > procAddr && reqAddr < end {
+		end = reqAddr
+	}
+	// Find the function that follows process() in memory.
+	var next uint32 = 0xFFFFFFFF
+	for _, cand := range []uint32{reqAddr, mainAddr} {
+		if cand > procAddr && cand < next {
+			next = cand
+		}
+	}
+	code, _ := p.Mem.PeekRaw(procAddr, int(next-procAddr))
+	b.WriteString("(b) Machine code for process() function\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	b.WriteString(isa.Listing(isa.Disassemble(code, procAddr)))
+	b.WriteString("\n")
+
+	// Panel (c): run into get_request and pause right after its read()
+	// call returned, so the request bytes are sitting in buf — the moment
+	// the paper's snapshot depicts.
+	st := p.RunUntil(reqAddr)
+	if st != cpu.Paused {
+		return "", fmt.Errorf("figures: expected to pause at get_request, got %v (%v)", st, p.CPU.Fault())
+	}
+	reqCode, _ := p.Mem.PeekRaw(reqAddr, int(next-procAddr)+64)
+	afterCall := uint32(0)
+	for _, l := range isa.Disassemble(reqCode, reqAddr) {
+		if !l.Bad && l.Instr.Op == isa.CALL {
+			afterCall = l.Addr + uint32(l.Instr.Size)
+			break
+		}
+	}
+	if afterCall == 0 {
+		return "", fmt.Errorf("figures: no call inside get_request")
+	}
+	p.CPU.Resume()
+	if st := p.RunUntil(afterCall); st != cpu.Paused {
+		return "", fmt.Errorf("figures: expected to pause after read(), got %v", st)
+	}
+
+	b.WriteString("(c) Run-time machine state (just entered get_request)\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	fmt.Fprintf(&b, "IP = 0x%08x (in get_request)\n", p.CPU.IP)
+	fmt.Fprintf(&b, "SP = 0x%08x\nBP = 0x%08x\n\n", p.CPU.Reg[isa.ESP], p.CPU.Reg[isa.EBP])
+	b.WriteString("ADDRESS      CONTENTS     NOTE\n")
+	b.WriteString(renderStack(p, p.CPU.Reg[isa.ESP], 14))
+	return b.String(), nil
+}
+
+// renderStack dumps n words of stack upward from sp, annotating each like
+// the paper's Figure 1(c).
+func renderStack(p *kernel.Process, sp uint32, n int) string {
+	type fnSym struct {
+		name string
+		addr uint32
+	}
+	var fns []fnSym
+	for name, s := range p.Linked.Symbols {
+		if s.Section == asm.SecText && !strings.Contains(name, ".") {
+			fns = append(fns, fnSym{name, p.Layout.Text + s.Off})
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].addr < fns[j].addr })
+	owner := func(a uint32) string {
+		name := ""
+		for _, f := range fns {
+			if f.addr <= a {
+				name = f.name
+			}
+		}
+		return name
+	}
+	textLo := p.Layout.Text
+	textHi := textLo + uint32(len(p.Linked.Text))
+	stackLo := p.Layout.StackLow
+	stackHi := stackLo + kernel.StackSize
+
+	var b strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		addr := sp + uint32(4*i)
+		v := p.Mem.PeekWord(addr)
+		note := ""
+		switch {
+		case v >= textLo && v < textHi:
+			note = fmt.Sprintf("return address (into %s)", owner(v))
+		case v >= stackLo && v < stackHi:
+			note = "saved base pointer / stack address"
+		case isPrintable(v):
+			note = fmt.Sprintf("data %q", asciiOf(v))
+		}
+		marker := "  "
+		if addr == p.CPU.Reg[isa.ESP] {
+			marker = "SP"
+		} else if addr == p.CPU.Reg[isa.EBP] {
+			marker = "BP"
+		}
+		fmt.Fprintf(&b, "0x%08x   0x%08x   %s %s\n", addr, v, marker, note)
+	}
+	return b.String()
+}
+
+func isPrintable(v uint32) bool {
+	for i := 0; i < 4; i++ {
+		c := byte(v >> (8 * i))
+		if c != 0 && (c < 0x20 || c > 0x7E) {
+			return false
+		}
+	}
+	return v != 0
+}
+
+func asciiOf(v uint32) string {
+	var out []byte
+	for i := 0; i < 4; i++ {
+		c := byte(v >> (8 * i))
+		if c != 0 {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// buildPinVault links the Figure 2 module with the given client main.
+func buildPinVault(moduleImg *asm.Image, client *asm.Image) (*kernel.Process, error) {
+	ld, err := kernel.Link(kernel.Libc(), moduleImg, client)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.Load(ld, kernel.Config{DEP: true})
+}
+
+// Fig2 renders the flat-memory picture of Figure 2 and demonstrates the
+// machine-code attacker scraping the module's secrets.
+func Fig2() (string, error) {
+	modImg, err := minc.Compile("secretmod", Fig2Source, minc.Options{})
+	if err != nil {
+		return "", err
+	}
+	scraper, err := attack.ScraperModule(kernel.NominalData, kernel.NominalData+0x1000,
+		[]byte{0xd2, 0x04, 0x00, 0x00})
+	if err != nil {
+		return "", err
+	}
+	p, err := buildPinVault(modImg, scraper)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("The secret module (Figure 2)\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	b.WriteString(Fig2Source + "\n\n")
+	b.WriteString("Run-time memory contents (flat address space):\n")
+	for _, r := range p.Mem.Regions() {
+		fmt.Fprintf(&b, "  0x%08x..0x%08x  %s\n", r.Addr, r.Addr+r.Size, r.Perm)
+	}
+	b.WriteString("\nModule statics, openly addressable by every module:\n")
+	for _, name := range []string{"tries_left", "PIN", "secret"} {
+		a, _ := p.SymbolAddr("secretmod." + name)
+		fmt.Fprintf(&b, "  %-12s at 0x%08x = %d\n", name, a, int32(p.Mem.PeekWord(a)))
+	}
+	st := p.Run()
+	fmt.Fprintf(&b, "\nMemory-scraping attacker module: state=%v exit=%d\n", st, p.CPU.ExitCode())
+	fmt.Fprintf(&b, "exfiltrated bytes: % x\n", p.Output.Bytes())
+	if p.CPU.ExitCode() == attack.ScraperExitCode {
+		b.WriteString("=> the PIN and the adjacent secret left the module. No bug was needed.\n")
+	}
+	return b.String(), nil
+}
+
+// Fig3 renders the protected-module picture: same module, same scraper,
+// but a PMA policy guards the module.
+func Fig3() (string, error) {
+	modImg, err := securecomp.Harden("secretmod", Fig2Source,
+		[]securecomp.Export{{Name: "get_secret", Args: 1}}, securecomp.Full())
+	if err != nil {
+		return "", err
+	}
+	scraper, err := attack.ScraperModule(kernel.NominalData, kernel.NominalData+0x2000,
+		[]byte{0xd2, 0x04, 0x00, 0x00})
+	if err != nil {
+		return "", err
+	}
+	p, err := buildPinVault(modImg, scraper)
+	if err != nil {
+		return "", err
+	}
+	pol, err := pma.Protect(p, "secretmod")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("A protected module (Figure 3)\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	m := pol.Modules()[0]
+	fmt.Fprintf(&b, "module code  [0x%08x, 0x%08x)\n", m.CodeStart, m.CodeEnd)
+	fmt.Fprintf(&b, "module data  [0x%08x, 0x%08x)\n", m.DataStart, m.DataEnd)
+	for _, e := range m.Entries {
+		fmt.Fprintf(&b, "entry point   0x%08x\n", e)
+	}
+	b.WriteString("\naccess rules: outside IP -> no module access; inside IP -> full\n")
+	b.WriteString("data access; entry only via designated entry points\n\n")
+	st := p.Run()
+	fmt.Fprintf(&b, "same scraper against the protected module: state=%v\n", st)
+	if f := p.CPU.Fault(); f != nil {
+		fmt.Fprintf(&b, "fault: %v\n", f)
+	}
+	fmt.Fprintf(&b, "exfiltrated bytes: % x\n", p.Output.Bytes())
+	b.WriteString("=> the first load into protected memory faults; nothing leaks.\n")
+	return b.String(), nil
+}
+
+// Fig4 renders the function-pointer module, the exploit against its naive
+// compilation, and the defensive check stopping it.
+func Fig4() (string, error) {
+	var b strings.Builder
+	b.WriteString("The alternative secret module (Figure 4)\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	b.WriteString(Fig4Source + "\n\n")
+
+	run := func(opt securecomp.Options) (*kernel.Process, uint32, error) {
+		modImg, err := securecomp.Harden("secretmod", Fig4Source,
+			[]securecomp.Export{{Name: "get_secret", Args: 1}}, opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		probe, err := buildPinVault(modImg, asm.MustAssemble("client",
+			"\t.text\n\t.global main\nmain:\n\tret\n"))
+		if err != nil {
+			return nil, 0, err
+		}
+		mb, _ := probe.Module("secretmod")
+		text, _ := probe.Mem.PeekRaw(mb.TextStart, int(mb.TextEnd-mb.TextStart))
+		resetAddr, ok := attack.FindTriesResetAddr(text, mb.TextStart)
+		if !ok {
+			return nil, 0, fmt.Errorf("figures: reset sequence not found")
+		}
+		modImg2, err := securecomp.Harden("secretmod", Fig4Source,
+			[]securecomp.Export{{Name: "get_secret", Args: 1}}, opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		p, err := buildPinVault(modImg2, attack.Fig4ClientModule(resetAddr))
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := pma.Protect(p, "secretmod"); err != nil {
+			return nil, 0, err
+		}
+		p.Run()
+		return p, resetAddr, nil
+	}
+
+	p, resetAddr, err := run(securecomp.Naive())
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "the attacker disassembles the module and finds the sequence\n")
+	fmt.Fprintf(&b, "implementing `tries_left = 3` at 0x%08x; it passes that address\n", resetAddr)
+	fmt.Fprintf(&b, "as the get_pin function pointer.\n\n")
+	fmt.Fprintf(&b, "naive compilation (PMA active, no defensive checks):\n")
+	fmt.Fprintf(&b, "  state=%v exit=%d — the attacker received the secret %d\n",
+		p.CPU.StateOf(), p.CPU.ExitCode(), p.CPU.ExitCode())
+	tries, _ := p.SymbolAddr("secretmod.tries_left")
+	fmt.Fprintf(&b, "  tries_left after attack: %d (reset!)\n\n", p.Mem.PeekWord(tries))
+
+	p2, _, err := run(securecomp.Full())
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "secure compilation (function-pointer guard):\n")
+	fmt.Fprintf(&b, "  state=%v", p2.CPU.StateOf())
+	if f := p2.CPU.Fault(); f != nil {
+		fmt.Fprintf(&b, " — %v", f)
+	}
+	b.WriteString("\n=> the defensive check rejects any get_pin pointing into the module.\n")
+	return b.String(), nil
+}

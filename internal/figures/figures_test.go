@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1(t *testing.T) {
+	out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(a) Program source code",
+		"(b) Machine code for process() function",
+		"push ebp",
+		"mov ebp, esp",
+		"sub esp, 0x18", // the paper's exact frame size for process()
+		"call",
+		"leave",
+		"ret",
+		"(c) Run-time machine state",
+		"IP = ",
+		"return address (into process)",
+		"ABCD", // the request bytes sitting in buf
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tries_left",
+		"= 1234",
+		"= 666",
+		"exfiltrated bytes",
+		"9a 02 00 00", // the secret, little-endian, in the scraper output
+		"No bug was needed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	out, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module code",
+		"entry point",
+		"pma violation",
+		"nothing leaks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "9a 02 00 00") {
+		t.Error("Fig3 leaked the secret")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	out, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tries_left = 3",
+		"received the secret 666",
+		"tries_left after attack: 3 (reset!)",
+		"fail-fast",
+		"rejects any get_pin pointing into the module",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 missing %q:\n%s", want, out)
+		}
+	}
+}

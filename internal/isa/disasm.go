@@ -1,0 +1,55 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Line is one disassembled instruction together with its location and raw
+// bytes, mirroring panel (b) of the paper's Figure 1.
+type Line struct {
+	Addr  uint32
+	Bytes []byte
+	Instr Instr
+	Bad   bool // true when the bytes did not decode; Bytes holds one byte
+}
+
+// Disassemble performs straight-line disassembly of code as loaded at base.
+// Undecodable bytes are emitted one at a time as Bad lines, so disassembly
+// always makes progress (attackers re-enter code mid-instruction; the
+// gadget finder relies on being able to disassemble from arbitrary
+// offsets).
+func Disassemble(code []byte, base uint32) []Line {
+	var out []Line
+	for off := 0; off < len(code); {
+		addr := base + uint32(off)
+		in, err := Decode(code[off:], addr)
+		if err != nil {
+			out = append(out, Line{Addr: addr, Bytes: code[off : off+1], Bad: true})
+			off++
+			continue
+		}
+		out = append(out, Line{
+			Addr:  addr,
+			Bytes: code[off : off+in.Size],
+			Instr: in,
+		})
+		off += in.Size
+	}
+	return out
+}
+
+// Listing formats disassembled lines like the paper's Figure 1 part (b):
+// hex bytes on the left, assembly on the right.
+func Listing(lines []Line) string {
+	var b strings.Builder
+	for _, l := range lines {
+		hex := fmt.Sprintf("% x", l.Bytes)
+		if l.Bad {
+			fmt.Fprintf(&b, "%08x:  %-18s (data) 0x%02x\n", l.Addr, hex, l.Bytes[0])
+			continue
+		}
+		fmt.Fprintf(&b, "%08x:  %-18s %s\n", l.Addr, hex, l.Instr.StringAt(l.Addr))
+	}
+	return b.String()
+}

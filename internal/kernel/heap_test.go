@@ -1,0 +1,172 @@
+package kernel
+
+import (
+	"testing"
+
+	"softsec/internal/cpu"
+	"softsec/internal/minc"
+)
+
+// heap_test.go exercises the libc free-list allocator and the temporal
+// vulnerabilities it enables (Section III-A: deallocation "can happen
+// implicitly or explicitly" — this is the explicit case).
+
+func runC(t *testing.T, src string, cfg Config) *Process {
+	t.Helper()
+	img, err := minc.Compile("prog", src, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Link(Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(ld, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+	return p
+}
+
+func exitC(t *testing.T, src string) int32 {
+	t.Helper()
+	p := runC(t, src, Config{DEP: true})
+	if p.CPU.StateOf() != cpu.Exited {
+		t.Fatalf("state %v fault %v", p.CPU.StateOf(), p.CPU.Fault())
+	}
+	return p.CPU.ExitCode()
+}
+
+func TestMallocBasics(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	int *a = malloc(16);
+	int *b = malloc(16);
+	a[0] = 7;
+	b[0] = 8;
+	int distinct = 0;
+	if (a != b) distinct = 1;
+	return distinct * 100 + a[0] * 10 + b[0]; // 178
+}`)
+	if got != 178 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+// TestFreeListReuse: freeing then reallocating the same size returns the
+// same block (LIFO) — the property that makes use-after-free exploitable
+// deterministically.
+func TestFreeListReuse(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	char *a = malloc(16);
+	free(a);
+	char *b = malloc(16);
+	if (a == b) return 1;
+	return 0;
+}`)
+	if got != 1 {
+		t.Fatalf("allocator did not reuse the freed block (got %d)", got)
+	}
+}
+
+func TestFirstFitSkipsSmallBlocks(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	char *small = malloc(8);
+	char *big = malloc(64);
+	free(small);
+	free(big);
+	// Request 32: the 8-byte block at the head cannot satisfy it; the
+	// 64-byte one can.
+	char *c = malloc(32);
+	if (c == big) return 1;
+	return 0;
+}`)
+	if got != 1 {
+		t.Fatalf("first fit broken (got %d)", got)
+	}
+}
+
+// TestHeapUseAfterFree is the classic temporal attack shape: object A is
+// freed, attacker-controlled allocation B reuses the memory, and the stale
+// pointer to A now reads/writes B — type confusion.
+func TestHeapUseAfterFree(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	int *session = malloc(16);
+	session[0] = 0;          // is_admin = 0
+	free(session);
+	// "Attacker"-controlled allocation of the same size reuses the chunk.
+	int *name = malloc(16);
+	name[0] = 0x41414141;    // attacker bytes
+	// The program keeps using the stale session pointer:
+	if (session[0] == 0x41414141) return 1; // type confusion observed
+	return 0;
+}`)
+	if got != 1 {
+		t.Fatalf("UAF aliasing not observed (got %d)", got)
+	}
+}
+
+// TestHeapMetadataCorruption: overflowing a heap buffer corrupts the next
+// free block's link, making a later malloc return an attacker-chosen
+// address — a heap-flavoured arbitrary-write primitive (the heap
+// counterpart of the paper's buf[i]=v example).
+func TestHeapMetadataCorruption(t *testing.T) {
+	src := `
+int target = 5;
+int main() {
+	char *a = malloc(16);
+	char *b = malloc(16);
+	free(b);               // b sits on the free list; b[0] holds the link
+	// Heap overflow out of a: 16 bytes of slack then b's header+link.
+	int *p = a;
+	p[4] = 16;             // b's size header (offset 16 from a's payload)
+	p[5] = &target - 1;    // b's next-free link -> fake block at &target-4
+	char *c = malloc(16);  // pops b
+	char *d = malloc(4);   // pops the fake block: returns &target!
+	int *w = d;
+	*w = 99;               // arbitrary write through the allocator
+	return target;
+}`
+	got := exitC(t, src)
+	if got != 99 {
+		t.Fatalf("heap metadata attack did not land (target=%d)", got)
+	}
+}
+
+func TestFreeNullIsNoop(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	free(0);
+	char *a = malloc(8);
+	a[0] = 'x';
+	return a[0];
+}`)
+	if got != 'x' {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestManyAllocations(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 50; i++) {
+		int *p = malloc(12);
+		p[0] = i;
+		p[1] = i * 2;
+		p[2] = i * 3;
+		sum = sum + p[0] + p[1] + p[2];
+		if (i % 2) free(p);
+	}
+	return sum % 251;
+}`)
+	// sum = sum over i of 6i = 6*1225 = 7350; 7350 % 251 = 71.
+	if got != 7350%251 {
+		t.Fatalf("got %d want %d", got, 7350%251)
+	}
+}

@@ -1,0 +1,276 @@
+package kernel
+
+import "softsec/internal/asm"
+
+// libcSource is the C runtime every program links against: process startup,
+// syscall wrappers, a bump-pointer malloc with the classic no-op free, and
+// a handful of utility routines.
+//
+// Two deliberate properties matter for the reproduction:
+//
+//   - spawn_shell stands in for libc's system(): it is the classic
+//     return-to-libc target. Reaching it without the program calling it is
+//     the oracle for that attack.
+//   - The utility functions save and restore callee-saved registers, so
+//     their epilogues contain pop-register/ret byte sequences — the raw
+//     material ("gadgets") Return-Oriented Programming mines, exactly as
+//     Shacham observed for real libc. One immediate constant additionally
+//     encodes an unintended gadget, demonstrating unaligned re-entry into
+//     variable-length code.
+const libcSource = `
+; ---- SM32 libc -------------------------------------------------------
+	.text
+	.global _start
+_start:
+	call main
+	mov ebx, eax
+	mov eax, 1          ; exit(main())
+	int 0x80
+	hlt
+
+	.global exit
+exit:
+	push ebp
+	mov ebp, esp
+	loadw ebx, [ebp+8]
+	mov eax, 1
+	int 0x80
+	hlt
+
+	.global read        ; read(fd, buf, n) -> bytes read
+read:
+	push ebp
+	mov ebp, esp
+	loadw ebx, [ebp+8]
+	loadw ecx, [ebp+12]
+	loadw edx, [ebp+16]
+	mov eax, 3
+	int 0x80
+	leave
+	ret
+
+	.global write       ; write(fd, buf, n) -> n
+write:
+	push ebp
+	mov ebp, esp
+	loadw ebx, [ebp+8]
+	loadw ecx, [ebp+12]
+	loadw edx, [ebp+16]
+	mov eax, 4
+	int 0x80
+	leave
+	ret
+
+	.global sbrk        ; sbrk(n) -> old break
+sbrk:
+	push ebp
+	mov ebp, esp
+	loadw ebx, [ebp+8]
+	mov eax, 5
+	int 0x80
+	leave
+	ret
+
+	.global malloc      ; first-fit free-list allocator over sbrk.
+malloc:                 ; Block layout: [size][payload...]; a free block
+	push ebp            ; stores the next-free pointer in its first
+	mov ebp, esp        ; payload word. LIFO reuse makes use-after-free
+	loadw edx, [ebp+8]  ; aliasing deterministic, and the inline size
+	mov ecx, __freelist ; header makes heap-metadata corruption possible —
+mscan:                  ; both classic temporal-attack substrates.
+	loadw eax, [ecx]
+	cmp eax, 0
+	jz mfresh
+	loadw esi, [eax]    ; candidate size
+	cmp esi, edx
+	jae mtake
+	lea ecx, [eax+4]    ; follow the next-free link
+	jmp mscan
+mtake:
+	loadw esi, [eax+4]  ; unlink: *prev = candidate->next
+	storew [ecx], esi
+	add eax, 4          ; return the payload
+	leave
+	ret
+mfresh:
+	mov ebx, edx
+	add ebx, 4          ; header + payload
+	mov eax, 5
+	int 0x80            ; sbrk
+	storew [eax], edx   ; write the size header
+	add eax, 4
+	leave
+	ret
+
+	.global free        ; push the block onto the free list (no checks:
+free:                   ; double frees and stale pointers are the caller's
+	push ebp            ; problem, exactly as in classic libc)
+	mov ebp, esp
+	loadw eax, [ebp+8]
+	cmp eax, 0
+	jz fdone
+	mov ecx, __freelist
+	loadw edx, [ecx]
+	storew [eax], edx   ; payload[0] = old head
+	sub eax, 4
+	storew [ecx], eax   ; head = block header
+fdone:
+	leave
+	ret
+
+	.global syscall3    ; syscall3(no, a, b, c) — raw syscall trampoline
+syscall3:
+	push ebp
+	mov ebp, esp
+	loadw eax, [ebp+8]
+	loadw ebx, [ebp+12]
+	loadw ecx, [ebp+16]
+	loadw edx, [ebp+20]
+	int 0x80
+	leave
+	ret
+
+	.global spawn_shell ; stands in for system("/bin/sh")
+spawn_shell:
+	mov ebx, 1
+	mov ecx, __shell_msg
+	mov edx, 6
+	mov eax, 4
+	int 0x80
+	mov ebx, 61         ; exit code 61 marks "shell spawned"
+	mov eax, 1
+	int 0x80
+	hlt
+
+	.global strlen      ; strlen(s)
+strlen:
+	push ebp
+	mov ebp, esp
+	push ebx
+	loadw ebx, [ebp+8]
+	mov eax, 0
+strlen_loop:
+	loadb ecx, [ebx]
+	cmp ecx, 0
+	jz strlen_done
+	add ebx, 1
+	add eax, 1
+	jmp strlen_loop
+strlen_done:
+	pop ebx             ; epilogue: pop ebx; leave; ret — a ROP gadget
+	leave
+	ret
+
+	.global puts        ; puts(s): write(1, s, strlen(s)) + newline
+puts:
+	push ebp
+	mov ebp, esp
+	sub esp, 8
+	loadw ecx, [ebp+8]
+	storew [esp], ecx   ; argument for strlen
+	storew [esp+4], ecx ; stash s across the call
+	call strlen
+	loadw ecx, [esp+4]
+	mov ebx, 1
+	mov edx, eax
+	mov eax, 4
+	int 0x80
+	mov ecx, __newline
+	mov ebx, 1
+	mov edx, 1
+	mov eax, 4
+	int 0x80
+	leave
+	ret
+
+	.global memset      ; memset(dst, byte, n)
+memset:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	loadw edi, [ebp+8]
+	loadw ecx, [ebp+12]
+	loadw esi, [ebp+16]
+memset_loop:
+	cmp esi, 0
+	jz memset_done
+	storeb [edi], ecx
+	add edi, 1
+	sub esi, 1
+	jmp memset_loop
+memset_done:
+	loadw eax, [ebp+8]
+	pop edi             ; pop edi; pop esi; leave; ret — more gadget bytes
+	pop esi
+	leave
+	ret
+
+	.global memcpy      ; memcpy(dst, src, n)
+memcpy:
+	push ebp
+	mov ebp, esp
+	push esi
+	push edi
+	loadw edi, [ebp+8]
+	loadw esi, [ebp+12]
+	loadw ecx, [ebp+16]
+memcpy_loop:
+	cmp ecx, 0
+	jz memcpy_done
+	loadb edx, [esi]
+	storeb [edi], edx
+	add esi, 1
+	add edi, 1
+	sub ecx, 1
+	jmp memcpy_loop
+memcpy_done:
+	loadw eax, [ebp+8]
+	pop edi
+	pop esi
+	leave
+	ret
+
+	.global addv        ; addv(a, b, c, d): frameless 4-way add that saves
+addv:                   ; callee regs — its epilogue is the pop4+ret byte
+	push ebx            ; sequence ROP chains use to skip call arguments
+	push esi
+	push edi
+	push ebp
+	loadw ebx, [esp+20]
+	loadw esi, [esp+24]
+	loadw edi, [esp+28]
+	loadw ebp, [esp+32]
+	mov eax, ebx
+	add eax, esi
+	add eax, edi
+	add eax, ebp
+	pop ebp
+	pop edi
+	pop esi
+	pop ebx
+	ret
+
+	.global __build_id  ; an innocuous-looking constant that happens to
+__build_id:             ; contain "pop eax; pop ebx; ret" (58 5b c3) —
+	mov esi, 0xc35b58   ; the unintended-gadget phenomenon of ROP
+	mov eax, esi
+	ret
+
+	.data
+	.global __canary
+__canary:
+	.word 0
+__freelist:
+	.word 0
+__shell_msg:
+	.asciz "SHELL!"
+__newline:
+	.asciz "\n"
+`
+
+// Libc assembles and returns the C runtime image. Every program image
+// should be linked with it (it provides _start and the syscall wrappers).
+func Libc() *asm.Image {
+	return asm.MustAssemble("libc", libcSource)
+}

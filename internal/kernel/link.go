@@ -1,0 +1,180 @@
+// Package kernel implements the operating-system substrate of the
+// reproduction: a static linker for asm Images, a loader that builds a
+// process address space (optionally hardened with DEP and ASLR), the
+// syscall layer (read/write/exit/sbrk plus kernel-assisted runtime checks),
+// and deterministic scripted I/O so attacker interactions are replayable.
+package kernel
+
+import (
+	"fmt"
+
+	"softsec/internal/asm"
+)
+
+// ModuleInfo records where one input image landed inside the merged
+// program. The Protected Module Architecture (internal/pma) and the SFI
+// rewriter consume these ranges.
+type ModuleInfo struct {
+	Name     string
+	TextOff  uint32 // offset of the module's code in the merged text
+	TextSize uint32
+	DataOff  uint32
+	DataSize uint32
+	Entries  []uint32 // entry points as offsets into the merged text
+}
+
+type finalReloc struct {
+	sec       asm.Section // section containing the field
+	off       uint32
+	targetSec asm.Section
+	targetOff uint32
+	kind      asm.RelocKind
+	instrEnd  uint32
+}
+
+// Linked is a fully resolved program ready for loading.
+type Linked struct {
+	Text    []byte
+	Data    []byte
+	Modules []ModuleInfo
+	// Symbols maps exported names (and unambiguous locals) to merged
+	// section offsets.
+	Symbols map[string]asm.Symbol
+	relocs  []finalReloc
+}
+
+// Link merges images in order, resolving cross-module references. Symbol
+// resolution follows separate compilation semantics: a reference first
+// binds to a symbol of its own module (whether or not exported), then to a
+// global exported by any module. Duplicate exported names are an error.
+func Link(images ...*asm.Image) (*Linked, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("kernel: link: no images")
+	}
+	ld := &Linked{Symbols: make(map[string]asm.Symbol)}
+
+	type placed struct {
+		img     *asm.Image
+		textOff uint32
+		dataOff uint32
+	}
+	var ps []placed
+	for _, img := range images {
+		p := placed{img: img, textOff: uint32(len(ld.Text)), dataOff: uint32(len(ld.Data))}
+		ld.Text = append(ld.Text, img.Text...)
+		ld.Data = append(ld.Data, img.Data...)
+		ps = append(ps, p)
+
+		mi := ModuleInfo{
+			Name:     img.Name,
+			TextOff:  p.textOff,
+			TextSize: uint32(len(img.Text)),
+			DataOff:  p.dataOff,
+			DataSize: uint32(len(img.Data)),
+		}
+		for _, e := range img.Entries {
+			s, ok := img.Symbols[e]
+			if !ok || s.Section != asm.SecText {
+				return nil, fmt.Errorf("kernel: link %s: entry %q is not a text symbol", img.Name, e)
+			}
+			mi.Entries = append(mi.Entries, p.textOff+s.Off)
+		}
+		ld.Modules = append(ld.Modules, mi)
+	}
+
+	// Build the exported symbol table.
+	globals := make(map[string]asm.Symbol)
+	for i, p := range ps {
+		for _, s := range p.img.Symbols {
+			merged := asm.Symbol{Name: s.Name, Section: s.Section, Global: s.Global}
+			if s.Section == asm.SecText {
+				merged.Off = p.textOff + s.Off
+			} else {
+				merged.Off = p.dataOff + s.Off
+			}
+			if s.Global {
+				if prev, dup := globals[s.Name]; dup {
+					_ = prev
+					return nil, fmt.Errorf("kernel: link: symbol %q exported by multiple modules (module %d: %s)",
+						s.Name, i, p.img.Name)
+				}
+				globals[s.Name] = merged
+			}
+			// Qualified name always available for debugging.
+			ld.Symbols[p.img.Name+"."+s.Name] = merged
+		}
+	}
+	for n, s := range globals {
+		ld.Symbols[n] = s
+	}
+	// Unambiguous locals get unqualified names too.
+	seen := make(map[string]int)
+	for _, p := range ps {
+		for _, s := range p.img.Symbols {
+			if !s.Global {
+				seen[s.Name]++
+			}
+		}
+	}
+	for _, p := range ps {
+		for _, s := range p.img.Symbols {
+			if s.Global || seen[s.Name] > 1 {
+				continue
+			}
+			if _, taken := ld.Symbols[s.Name]; taken {
+				continue
+			}
+			ld.Symbols[s.Name] = ld.Symbols[p.img.Name+"."+s.Name]
+		}
+	}
+
+	// Resolve relocations.
+	for _, p := range ps {
+		for _, r := range p.img.Relocs {
+			target, ok := p.img.Symbols[r.Symbol]
+			var merged asm.Symbol
+			if ok {
+				merged = asm.Symbol{Section: target.Section, Off: target.Off}
+				if target.Section == asm.SecText {
+					merged.Off += p.textOff
+				} else {
+					merged.Off += p.dataOff
+				}
+			} else if g, found := globals[r.Symbol]; found {
+				merged = g
+			} else {
+				return nil, fmt.Errorf("kernel: link %s: undefined symbol %q", p.img.Name, r.Symbol)
+			}
+			fr := finalReloc{
+				sec:       r.Section,
+				targetSec: merged.Section,
+				targetOff: merged.Off,
+				kind:      r.Kind,
+			}
+			if r.Section == asm.SecText {
+				fr.off = p.textOff + r.Off
+				fr.instrEnd = p.textOff + r.InstrEnd
+			} else {
+				fr.off = p.dataOff + r.Off
+			}
+			ld.relocs = append(ld.relocs, fr)
+		}
+	}
+	return ld, nil
+}
+
+// Symbol looks up a linked symbol by name.
+func (ld *Linked) Symbol(name string) (asm.Symbol, bool) {
+	s, ok := ld.Symbols[name]
+	return s, ok
+}
+
+// Module returns the ModuleInfo with the given name.
+func (ld *Linked) Module(name string) (ModuleInfo, bool) {
+	for _, m := range ld.Modules {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ModuleInfo{}, false
+}

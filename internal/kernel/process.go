@@ -1,0 +1,352 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"softsec/internal/asm"
+	"softsec/internal/cpu"
+	"softsec/internal/mem"
+)
+
+// Nominal (non-ASLR) memory layout, matching the paper's Figure 1
+// conventions: text at 0x08048000, stack just below 0xC0000000 growing
+// down.
+const (
+	NominalText  = uint32(0x08048000)
+	NominalData  = uint32(0x08100000)
+	NominalHeap  = uint32(0x08200000)
+	NominalStack = uint32(0xBFFF0000) // low end of the stack mapping
+	StackSize    = uint32(0x00010000)
+	KernelBase   = uint32(0xC0000000)
+)
+
+// Layout fixes the base addresses of a process image.
+type Layout struct {
+	Text     uint32
+	Data     uint32
+	Heap     uint32
+	StackLow uint32 // lowest mapped stack address
+	StackTop uint32 // initial ESP
+}
+
+// NominalLayout is the layout used when ASLR is off — fully predictable,
+// which is what classic exploits rely on.
+func NominalLayout() Layout {
+	return Layout{
+		Text:     NominalText,
+		Data:     NominalData,
+		Heap:     NominalHeap,
+		StackLow: NominalStack,
+		StackTop: NominalStack + StackSize - 0x1000,
+	}
+}
+
+// RandomizedLayout draws page-aligned base offsets from rng, implementing
+// Address Space Layout Randomization (Section III-C1): it makes the
+// addresses an exploit must guess — buffer locations, saved return
+// addresses, gadget addresses — unpredictable.
+func RandomizedLayout(rng *rand.Rand) Layout {
+	page := func(maxPages int32) uint32 {
+		return uint32(rng.Int31n(maxPages)) * mem.PageSize
+	}
+	l := NominalLayout()
+	l.Text += page(0x400)  // up to +4 MiB
+	l.Data += page(0x100)  // up to +1 MiB
+	l.Heap += page(0x2000) // up to +32 MiB
+	delta := page(0x800)   // up to 8 MiB down
+	l.StackLow -= delta
+	l.StackTop -= delta
+	return l
+}
+
+// InputSource supplies the bytes the I/O attacker (or an honest user)
+// feeds to the program's read() calls. outputSoFar carries everything the
+// program has written so far, which is what makes adaptive attacks — parse
+// an info leak, then build the payload — expressible.
+type InputSource interface {
+	NextInput(max int, outputSoFar []byte) []byte
+}
+
+// ScriptInput replays a fixed sequence of chunks, one per read() call.
+type ScriptInput [][]byte
+
+// NextInput implements InputSource.
+func (s *ScriptInput) NextInput(max int, _ []byte) []byte {
+	if len(*s) == 0 {
+		return nil
+	}
+	chunk := (*s)[0]
+	*s = (*s)[1:]
+	if len(chunk) > max {
+		chunk = chunk[:max]
+	}
+	return chunk
+}
+
+// InputFunc adapts a function to InputSource.
+type InputFunc func(max int, outputSoFar []byte) []byte
+
+// NextInput implements InputSource.
+func (f InputFunc) NextInput(max int, out []byte) []byte { return f(max, out) }
+
+// Config selects which exploit-mitigation countermeasures the platform
+// deploys (the paper's Section III-C1) and points at the input script.
+type Config struct {
+	// DEP enables Data Execution Prevention: text pages are r-x and
+	// data/stack pages rw-. When false the loader uses the historical
+	// rwx-everywhere layout that direct code injection (and code
+	// corruption) exploits.
+	DEP bool
+	// ASLR randomizes segment bases using ASLRSeed.
+	ASLR     bool
+	ASLRSeed int64
+	// CanarySeed randomizes the stack canary value; zero keeps the
+	// well-known default (i.e. a *predictable* canary, for the tables
+	// that show why unpredictability matters).
+	CanarySeed int64
+	// CheckedHeap enables kernel-side validation of read()/write()
+	// buffer ranges against the allocation registry (the "run-time
+	// checks during testing" of Section III-C2, in the style of
+	// AddressSanitizer interceptors).
+	CheckedLibc bool
+	// ShadowStack enables hardware return-address protection (CET-style
+	// CFI) on the CPU.
+	ShadowStack bool
+	// Input feeds the program's reads. Nil means EOF on first read.
+	Input InputSource
+	// MaxSteps bounds execution; zero means DefaultMaxSteps.
+	MaxSteps uint64
+	// TraceSyscalls records a line per syscall in Process.SyscallLog.
+	TraceSyscalls bool
+}
+
+// DefaultMaxSteps bounds program execution in tests and scenarios.
+const DefaultMaxSteps = 2_000_000
+
+// DefaultCanary is the canary value used when CanarySeed is zero. It
+// contains a NUL byte, like StackGuard's terminator canary.
+const DefaultCanary = uint32(0x00AB1DE5)
+
+// Process is a loaded program plus its kernel-side state.
+type Process struct {
+	CPU    *cpu.CPU
+	Mem    *mem.Memory
+	Layout Layout
+	Linked *Linked
+	Config Config
+
+	Output     bytes.Buffer
+	SyscallLog []string
+
+	Canary uint32
+	brk    uint32
+
+	// allocation registry for CheckedLibc / the checked dialect
+	allocs map[uint32]uint32 // addr -> size
+
+	// Services lets other packages (internal/pma) install extra syscall
+	// numbers without the kernel depending on them.
+	Services map[uint32]func(p *Process) error
+
+	// CopyGuard, when non-nil, is consulted before the kernel copies
+	// data into or out of user memory on behalf of a syscall. A
+	// Protected Module Architecture installs one: even the kernel cannot
+	// touch protected memory.
+	CopyGuard func(addr, n uint32, write bool) error
+}
+
+// SymbolAddr returns the virtual address of a linked symbol.
+func (p *Process) SymbolAddr(name string) (uint32, bool) {
+	s, ok := p.Linked.Symbol(name)
+	if !ok {
+		return 0, false
+	}
+	return p.SectionBase(s.Section) + s.Off, true
+}
+
+// SectionBase returns the loaded base address of a section.
+func (p *Process) SectionBase(sec asm.Section) uint32 {
+	if sec == asm.SecText {
+		return p.Layout.Text
+	}
+	return p.Layout.Data
+}
+
+// ModuleBounds returns the absolute address ranges of a linked module.
+type ModuleBounds struct {
+	Name               string
+	TextStart, TextEnd uint32
+	DataStart, DataEnd uint32
+	Entries            []uint32
+}
+
+// Module returns the absolute bounds of module name.
+func (p *Process) Module(name string) (ModuleBounds, bool) {
+	m, ok := p.Linked.Module(name)
+	if !ok {
+		return ModuleBounds{}, false
+	}
+	b := ModuleBounds{
+		Name:      name,
+		TextStart: p.Layout.Text + m.TextOff,
+		TextEnd:   p.Layout.Text + m.TextOff + m.TextSize,
+		DataStart: p.Layout.Data + m.DataOff,
+		DataEnd:   p.Layout.Data + m.DataOff + m.DataSize,
+	}
+	for _, e := range m.Entries {
+		b.Entries = append(b.Entries, p.Layout.Text+e)
+	}
+	return b, true
+}
+
+func pageCeil(n uint32) uint32 {
+	return (n + mem.PageSize - 1) &^ uint32(mem.PageSize-1)
+}
+
+// Load builds a runnable process from a linked program.
+func Load(ld *Linked, cfg Config) (*Process, error) {
+	layout := NominalLayout()
+	if cfg.ASLR {
+		layout = RandomizedLayout(rand.New(rand.NewSource(cfg.ASLRSeed)))
+	}
+	m := mem.New()
+
+	textPerm, dataPerm := mem.RX, mem.RW
+	if !cfg.DEP {
+		// Historical layout: everything readable, writable, executable.
+		textPerm = mem.R | mem.W | mem.X
+		dataPerm = mem.R | mem.W | mem.X
+	}
+	if err := m.Map(layout.Text, pageCeil(uint32(len(ld.Text))+1), textPerm); err != nil {
+		return nil, fmt.Errorf("kernel: map text: %w", err)
+	}
+	dataSize := pageCeil(uint32(len(ld.Data)) + 1)
+	if err := m.Map(layout.Data, dataSize, dataPerm); err != nil {
+		return nil, fmt.Errorf("kernel: map data: %w", err)
+	}
+	if err := m.Map(layout.StackLow, StackSize, dataPerm); err != nil {
+		return nil, fmt.Errorf("kernel: map stack: %w", err)
+	}
+	if err := m.LoadRaw(layout.Text, ld.Text); err != nil {
+		return nil, err
+	}
+	if err := m.LoadRaw(layout.Data, ld.Data); err != nil {
+		return nil, err
+	}
+
+	// Apply relocations now that bases are known.
+	base := func(sec asm.Section) uint32 {
+		if sec == asm.SecText {
+			return layout.Text
+		}
+		return layout.Data
+	}
+	for _, r := range ld.relocs {
+		target := base(r.targetSec) + r.targetOff
+		var v uint32
+		switch r.kind {
+		case asm.RelAbs32:
+			v = target
+		case asm.RelPC32:
+			v = target - (layout.Text + r.instrEnd)
+		}
+		m.PokeWord(base(r.sec)+r.off, v)
+	}
+
+	p := &Process{
+		Mem:    m,
+		Layout: layout,
+		Linked: ld,
+		Config: cfg,
+		brk:    layout.Heap,
+		allocs: make(map[uint32]uint32),
+	}
+
+	// Stack canary (Section III-C1): an unpredictable value the loader
+	// writes into the process; function prologues copy it next to the
+	// saved registers and epilogues verify it.
+	p.Canary = DefaultCanary
+	if cfg.CanarySeed != 0 {
+		p.Canary = uint32(rand.New(rand.NewSource(cfg.CanarySeed)).Int63()) | 1
+	}
+	if addr, ok := p.SymbolAddr("__canary"); ok {
+		m.PokeWord(addr, p.Canary)
+	}
+
+	c := cpu.New(m)
+	c.ShadowStack = cfg.ShadowStack
+	start, ok := p.SymbolAddr("_start")
+	if !ok {
+		return nil, fmt.Errorf("kernel: no _start symbol (link against Libc())")
+	}
+	c.IP = start
+	c.Reg[4] = layout.StackTop // ESP
+	c.Handler = (*trapHandler)(p)
+	p.CPU = c
+	return p, nil
+}
+
+// Run executes the process to completion (exit, fault, or step budget) and
+// returns the final CPU state.
+func (p *Process) Run() cpu.State {
+	max := p.Config.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	return p.CPU.Run(max)
+}
+
+// RunUntil executes until the instruction pointer reaches addr (the
+// breakpoint pauses before the instruction runs), or the process stops for
+// another reason.
+func (p *Process) RunUntil(addr uint32) cpu.State {
+	p.CPU.SetBreak(addr, true)
+	st := p.Run()
+	p.CPU.SetBreak(addr, false)
+	return st
+}
+
+// Sbrk grows the heap by n bytes (page-rounded) and returns the old break.
+func (p *Process) Sbrk(n uint32) (uint32, error) {
+	old := p.brk
+	if n == 0 {
+		return old, nil
+	}
+	newBrk := old + n
+	oldCeil := pageCeil(old)
+	newCeil := pageCeil(newBrk)
+	if newCeil > oldCeil {
+		perm := mem.RW
+		if !p.Config.DEP {
+			perm = mem.R | mem.W | mem.X
+		}
+		if err := p.Mem.Map(oldCeil, newCeil-oldCeil, perm); err != nil {
+			return 0, err
+		}
+	}
+	p.brk = newBrk
+	return old, nil
+}
+
+// RegisterAlloc records an allocation in the kernel-side registry used by
+// the checked dialect and CheckedLibc.
+func (p *Process) RegisterAlloc(addr, size uint32) { p.allocs[addr] = size }
+
+// UnregisterAlloc removes an allocation from the registry.
+func (p *Process) UnregisterAlloc(addr uint32) { delete(p.allocs, addr) }
+
+// CheckAlloc reports whether [addr, addr+size) lies fully inside one
+// registered allocation.
+func (p *Process) CheckAlloc(addr, size uint32) bool {
+	for base, asize := range p.allocs {
+		if addr >= base && addr+size <= base+asize && addr+size >= addr {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocCount reports the number of live registered allocations.
+func (p *Process) AllocCount() int { return len(p.allocs) }

@@ -1,0 +1,368 @@
+// Package mem implements the flat 32-bit virtual address space of the SM32
+// simulated machine: sparse 4 KiB pages, each carrying read/write/execute
+// permissions.
+//
+// The package enforces only page permissions. Higher-level access-control
+// policies (the Protected Module Architecture rules of the paper's Section
+// IV) are enforced by the CPU, which knows the current instruction pointer;
+// see internal/cpu.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the granularity of mapping and protection, 4 KiB as on the
+// platforms the paper discusses.
+const PageSize = 4096
+
+// PageMask extracts the page-offset bits of an address.
+const PageMask = PageSize - 1
+
+// Perm is a page-permission bit set.
+type Perm uint8
+
+// Permission bits. A page may combine them; the DEP countermeasure
+// (Section III-C1) is the loader policy of never combining W and X.
+const (
+	R Perm = 1 << iota // readable
+	W                  // writable
+	X                  // executable
+)
+
+// RW and RX are the two permission combinations a DEP-respecting loader
+// uses for data and code segments respectively.
+const (
+	RW = R | W
+	RX = R | X
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&R != 0 {
+		b[0] = 'r'
+	}
+	if p&W != 0 {
+		b[1] = 'w'
+	}
+	if p&X != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// FaultKind classifies memory faults.
+type FaultKind int
+
+const (
+	// FaultUnmapped is an access to an address with no mapped page.
+	FaultUnmapped FaultKind = iota
+	// FaultProtection is an access violating page permissions, e.g.
+	// writing a read-only page or executing a non-executable one (the
+	// fault DEP produces on a direct code-injection attempt).
+	FaultProtection
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultProtection:
+		return "protection"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is a memory access fault. It satisfies error.
+type Fault struct {
+	Kind   FaultKind
+	Addr   uint32
+	Access Perm // which access was attempted: R, W or X
+	Have   Perm // permissions actually present (zero when unmapped)
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s %s at 0x%08x (page perms %s)",
+		f.Access, f.Kind, f.Addr, f.Have)
+}
+
+type page struct {
+	data [PageSize]byte
+	perm Perm
+}
+
+// Memory is a sparse paged 32-bit address space. The zero value is an
+// empty address space ready to use.
+type Memory struct {
+	pages map[uint32]*page // keyed by addr >> 12
+}
+
+// New returns an empty address space.
+func New() *Memory { return &Memory{pages: make(map[uint32]*page)} }
+
+func (m *Memory) page(addr uint32) *page {
+	if m.pages == nil {
+		return nil
+	}
+	return m.pages[addr/PageSize]
+}
+
+// Map maps [addr, addr+size) with the given permissions. addr and size must
+// be page-aligned and the range must not overlap an existing mapping.
+func (m *Memory) Map(addr, size uint32, perm Perm) error {
+	if addr%PageSize != 0 || size%PageSize != 0 {
+		return fmt.Errorf("mem: Map(0x%08x, 0x%x): not page aligned", addr, size)
+	}
+	if size == 0 {
+		return fmt.Errorf("mem: Map(0x%08x, 0): empty mapping", addr)
+	}
+	if addr+size < addr && addr+size != 0 {
+		return fmt.Errorf("mem: Map(0x%08x, 0x%x): wraps address space", addr, size)
+	}
+	if m.pages == nil {
+		m.pages = make(map[uint32]*page)
+	}
+	first := addr / PageSize
+	n := size / PageSize
+	for i := uint32(0); i < n; i++ {
+		if _, ok := m.pages[first+i]; ok {
+			return fmt.Errorf("mem: Map(0x%08x, 0x%x): overlaps existing page at 0x%08x",
+				addr, size, (first+i)*PageSize)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		m.pages[first+i] = &page{perm: perm}
+	}
+	return nil
+}
+
+// Unmap removes the pages covering [addr, addr+size). Missing pages are
+// ignored, so Unmap is idempotent.
+func (m *Memory) Unmap(addr, size uint32) error {
+	if addr%PageSize != 0 || size%PageSize != 0 {
+		return fmt.Errorf("mem: Unmap(0x%08x, 0x%x): not page aligned", addr, size)
+	}
+	for i := uint32(0); i < size/PageSize; i++ {
+		delete(m.pages, addr/PageSize+i)
+	}
+	return nil
+}
+
+// Protect changes the permissions of every mapped page in [addr, addr+size).
+// It fails if any page in the range is unmapped.
+func (m *Memory) Protect(addr, size uint32, perm Perm) error {
+	if addr%PageSize != 0 || size%PageSize != 0 {
+		return fmt.Errorf("mem: Protect(0x%08x, 0x%x): not page aligned", addr, size)
+	}
+	first := addr / PageSize
+	n := size / PageSize
+	for i := uint32(0); i < n; i++ {
+		if _, ok := m.pages[first+i]; !ok {
+			return &Fault{Kind: FaultUnmapped, Addr: (first + i) * PageSize, Access: perm}
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		m.pages[first+i].perm = perm
+	}
+	return nil
+}
+
+// Mapped reports whether addr lies in a mapped page.
+func (m *Memory) Mapped(addr uint32) bool { return m.page(addr) != nil }
+
+// PermAt returns the permissions of the page containing addr, or zero if
+// the address is unmapped.
+func (m *Memory) PermAt(addr uint32) Perm {
+	if p := m.page(addr); p != nil {
+		return p.perm
+	}
+	return 0
+}
+
+func (m *Memory) check(addr uint32, access Perm) (*page, error) {
+	p := m.page(addr)
+	if p == nil {
+		return nil, &Fault{Kind: FaultUnmapped, Addr: addr, Access: access}
+	}
+	if p.perm&access != access {
+		return nil, &Fault{Kind: FaultProtection, Addr: addr, Access: access, Have: p.perm}
+	}
+	return p, nil
+}
+
+// Read8 reads one byte, checking R permission.
+func (m *Memory) Read8(addr uint32) (byte, error) {
+	p, err := m.check(addr, R)
+	if err != nil {
+		return 0, err
+	}
+	return p.data[addr&PageMask], nil
+}
+
+// Write8 writes one byte, checking W permission.
+func (m *Memory) Write8(addr uint32, v byte) error {
+	p, err := m.check(addr, W)
+	if err != nil {
+		return err
+	}
+	p.data[addr&PageMask] = v
+	return nil
+}
+
+// Fetch8 reads one byte of instruction stream, checking X permission.
+// A FaultProtection from Fetch8 on a writable data page is exactly the
+// fault Data Execution Prevention produces under a direct code-injection
+// attack.
+func (m *Memory) Fetch8(addr uint32) (byte, error) {
+	p, err := m.check(addr, X)
+	if err != nil {
+		return 0, err
+	}
+	return p.data[addr&PageMask], nil
+}
+
+// Read32 reads a little-endian 32-bit word. The access may cross a page
+// boundary; each byte is permission-checked.
+func (m *Memory) Read32(addr uint32) (uint32, error) {
+	var v uint32
+	for i := uint32(0); i < 4; i++ {
+		b, err := m.Read8(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write32 writes a little-endian 32-bit word.
+func (m *Memory) Write32(addr uint32, v uint32) error {
+	for i := uint32(0); i < 4; i++ {
+		if err := m.Write8(addr+i, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes reads n bytes starting at addr with R checks.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		b, err := m.Read8(addr + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// WriteBytes writes b starting at addr with W checks. It returns the number
+// of bytes successfully written before any fault, mirroring the partial
+// writes a kernel performs when copying into user buffers — this is what
+// lets a read() syscall overflow a buffer up to the edge of the mapped
+// stack, as in the paper's Section III-A example.
+func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
+	for i, v := range b {
+		if err := m.Write8(addr+uint32(i), v); err != nil {
+			return i, err
+		}
+	}
+	return len(b), nil
+}
+
+// LoadRaw copies b into memory ignoring permissions (loader/kernel use,
+// and the machine-code attacker running in kernel mode).
+func (m *Memory) LoadRaw(addr uint32, b []byte) error {
+	for i, v := range b {
+		p := m.page(addr + uint32(i))
+		if p == nil {
+			return &Fault{Kind: FaultUnmapped, Addr: addr + uint32(i), Access: W}
+		}
+		p.data[(addr+uint32(i))&PageMask] = v
+	}
+	return nil
+}
+
+// PeekRaw copies memory ignoring permissions (debugger/figure rendering and
+// kernel-mode memory scraping). Unmapped bytes read as zero and ok=false is
+// reported if any byte in the range was unmapped.
+func (m *Memory) PeekRaw(addr uint32, n int) (b []byte, ok bool) {
+	out := make([]byte, n)
+	ok = true
+	for i := range out {
+		p := m.page(addr + uint32(i))
+		if p == nil {
+			ok = false
+			continue
+		}
+		out[i] = p.data[(addr+uint32(i))&PageMask]
+	}
+	return out, ok
+}
+
+// PeekWord reads a word ignoring permissions.
+func (m *Memory) PeekWord(addr uint32) uint32 {
+	b, _ := m.PeekRaw(addr, 4)
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// PokeWord writes a word ignoring permissions. It is a no-op on unmapped
+// addresses.
+func (m *Memory) PokeWord(addr uint32, v uint32) {
+	for i := uint32(0); i < 4; i++ {
+		if p := m.page(addr + i); p != nil {
+			p.data[(addr+i)&PageMask] = byte(v >> (8 * i))
+		}
+	}
+}
+
+// Region describes one contiguous run of pages with equal permissions.
+type Region struct {
+	Addr uint32
+	Size uint32
+	Perm Perm
+}
+
+// Regions returns the mapped regions sorted by address, coalescing adjacent
+// pages with identical permissions. Used by the figure renderer and by the
+// memory-scraping attacker, which walks exactly this view of the address
+// space.
+func (m *Memory) Regions() []Region {
+	if len(m.pages) == 0 {
+		return nil
+	}
+	nums := make([]uint32, 0, len(m.pages))
+	for n := range m.pages {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	var out []Region
+	for _, n := range nums {
+		p := m.pages[n]
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Addr+last.Size == n*PageSize && last.Perm == p.perm {
+				last.Size += PageSize
+				continue
+			}
+		}
+		out = append(out, Region{Addr: n * PageSize, Size: PageSize, Perm: p.perm})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the address space. Scenario runners use it
+// to replay attacks against identical initial states.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for n, p := range m.pages {
+		np := &page{perm: p.perm}
+		np.data = p.data
+		c.pages[n] = np
+	}
+	return c
+}

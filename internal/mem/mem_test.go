@@ -1,0 +1,315 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func mustMap(t *testing.T, m *Memory, addr, size uint32, p Perm) {
+	t.Helper()
+	if err := m.Map(addr, size, p); err != nil {
+		t.Fatalf("Map(0x%x, 0x%x, %v): %v", addr, size, p, err)
+	}
+}
+
+func TestMapAlignment(t *testing.T) {
+	m := New()
+	if err := m.Map(0x1001, PageSize, RW); err == nil {
+		t.Error("unaligned addr accepted")
+	}
+	if err := m.Map(0x1000, 100, RW); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	if err := m.Map(0x1000, 0, RW); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	if err := m.Map(0xFFFFF000, 2*PageSize, RW); err == nil {
+		t.Error("wrapping mapping accepted")
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, 2*PageSize, RW)
+	if err := m.Map(0x2000, PageSize, RW); err == nil {
+		t.Fatal("overlapping Map accepted")
+	}
+	// The failed Map must not have destroyed the original mapping.
+	if !m.Mapped(0x2000) {
+		t.Fatal("original mapping lost after rejected overlap")
+	}
+}
+
+func TestReadWriteByte(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RW)
+	if err := m.Write8(0x1234, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Read8(0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0xAB {
+		t.Fatalf("got 0x%x want 0xAB", b)
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	m := New()
+	_, err := m.Read8(0x5000)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %T (%v)", err, err)
+	}
+	if f.Kind != FaultUnmapped || f.Addr != 0x5000 || f.Access != R {
+		t.Fatalf("bad fault: %+v", f)
+	}
+}
+
+func TestProtectionFaults(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, R) // read-only
+	if err := m.Write8(0x1000, 1); err == nil {
+		t.Error("write to read-only page succeeded")
+	} else {
+		var f *Fault
+		if !errors.As(err, &f) || f.Kind != FaultProtection || f.Access != W {
+			t.Errorf("bad write fault: %v", err)
+		}
+	}
+	if _, err := m.Fetch8(0x1000); err == nil {
+		t.Error("fetch from non-executable page succeeded (DEP broken)")
+	}
+}
+
+// TestDEPSemantics verifies the exact fault direct code injection hits:
+// bytes can be *written* to a RW stack page but not *fetched* from it.
+func TestDEPSemantics(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0xBFFF0000, PageSize, RW)
+	if err := m.Write8(0xBFFF0010, 0x90); err != nil {
+		t.Fatalf("write to stack: %v", err)
+	}
+	_, err := m.Fetch8(0xBFFF0010)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if f.Kind != FaultProtection || f.Access != X || f.Have != RW {
+		t.Fatalf("bad DEP fault: %+v", f)
+	}
+}
+
+func TestWordLittleEndian(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RW)
+	if err := m.Write32(0x1000, 0x080483f2); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 1 stores machine code little-endian: the first
+	// byte must be the least significant byte.
+	b, err := m.ReadBytes(0x1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xf2, 0x83, 0x04, 0x08}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("byte order: got % x want % x", b, want)
+	}
+}
+
+func TestWordCrossesPageBoundary(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, 2*PageSize, RW)
+	if err := m.Write32(0x1FFE, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read32(0x1FFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("got 0x%x", v)
+	}
+}
+
+// TestPartialWriteAtBoundary checks WriteBytes reports how many bytes landed
+// before the fault — the semantics a buffer overflow relies on when it runs
+// off the end of the mapped stack.
+func TestPartialWriteAtBoundary(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RW)
+	n, err := m.WriteBytes(0x1FFC, []byte{1, 2, 3, 4, 5, 6})
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d bytes before fault, want 4", n)
+	}
+	b, _ := m.Read8(0x1FFF)
+	if b != 4 {
+		t.Fatalf("last byte: got %d want 4", b)
+	}
+}
+
+func TestProtectTransitions(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RW)
+	if err := m.Protect(0x1000, PageSize, RX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write8(0x1000, 1); err == nil {
+		t.Error("write allowed after Protect to RX")
+	}
+	if _, err := m.Fetch8(0x1000); err != nil {
+		t.Errorf("fetch failed after Protect to RX: %v", err)
+	}
+	if err := m.Protect(0x4000, PageSize, RW); err == nil {
+		t.Error("Protect of unmapped range succeeded")
+	}
+}
+
+func TestUnmapIdempotent(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RW)
+	if err := m.Unmap(0x1000, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped(0x1000) {
+		t.Fatal("still mapped")
+	}
+	if err := m.Unmap(0x1000, PageSize); err != nil {
+		t.Fatalf("second Unmap: %v", err)
+	}
+}
+
+func TestRegionsCoalesce(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, 2*PageSize, RX)
+	mustMap(t, m, 0x3000, PageSize, RW)
+	mustMap(t, m, 0x8000, PageSize, RW)
+	rs := m.Regions()
+	want := []Region{
+		{0x1000, 2 * PageSize, RX},
+		{0x3000, PageSize, RW},
+		{0x8000, PageSize, RW},
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("regions: got %v want %v", rs, want)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("region %d: got %+v want %+v", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestPeekPokeBypassPerms(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, R) // read-only
+	m.PokeWord(0x1000, 0x11223344)
+	if got := m.PeekWord(0x1000); got != 0x11223344 {
+		t.Fatalf("got 0x%x", got)
+	}
+	if _, ok := m.PeekRaw(0x9000, 4); ok {
+		t.Error("PeekRaw of unmapped range reported ok")
+	}
+}
+
+func TestLoadRawUnmapped(t *testing.T) {
+	m := New()
+	if err := m.LoadRaw(0x1000, []byte{1}); err == nil {
+		t.Fatal("LoadRaw into unmapped memory succeeded")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RW)
+	if err := m.Write32(0x1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if err := c.Write32(0x1000, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read32(0x1000); v != 42 {
+		t.Fatalf("clone write leaked into original: %d", v)
+	}
+	if v, _ := c.Read32(0x1000); v != 99 {
+		t.Fatalf("clone lost write: %d", v)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if m.Mapped(0) {
+		t.Fatal("zero value claims mapped page")
+	}
+	if err := m.Map(0x1000, PageSize, RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write8(0x1000, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a word written at any mapped, in-page address reads back
+// identically, and the four bytes appear in little-endian order.
+func TestWordRoundTripProperty(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x10000, 16*PageSize, RW)
+	f := func(off uint16, v uint32) bool {
+		addr := 0x10000 + uint32(off)%(16*PageSize-4)
+		if err := m.Write32(addr, v); err != nil {
+			return false
+		}
+		got, err := m.Read32(addr)
+		if err != nil || got != v {
+			return false
+		}
+		b0, _ := m.Read8(addr)
+		return b0 == byte(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: permissions partition accesses — an access succeeds iff the
+// page grants the bit.
+func TestPermGateProperty(t *testing.T) {
+	perms := []Perm{0, R, W, X, R | W, R | X, W | X, R | W | X}
+	base := uint32(0x20000)
+	m := New()
+	for i, p := range perms {
+		mustMap(t, m, base+uint32(i)*PageSize, PageSize, p)
+	}
+	for i, p := range perms {
+		addr := base + uint32(i)*PageSize
+		if _, err := m.Read8(addr); (err == nil) != (p&R != 0) {
+			t.Errorf("perm %v: read gate wrong", p)
+		}
+		if err := m.Write8(addr, 0); (err == nil) != (p&W != 0) {
+			t.Errorf("perm %v: write gate wrong", p)
+		}
+		if _, err := m.Fetch8(addr); (err == nil) != (p&X != 0) {
+			t.Errorf("perm %v: fetch gate wrong", p)
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := (R | W).String(); s != "rw-" {
+		t.Errorf("got %q", s)
+	}
+	if s := (R | X).String(); s != "r-x" {
+		t.Errorf("got %q", s)
+	}
+	if s := Perm(0).String(); s != "---" {
+		t.Errorf("got %q", s)
+	}
+}

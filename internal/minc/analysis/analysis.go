@@ -1,0 +1,290 @@
+// Package analysis implements a source-code analysis tool for MinC — the
+// "source code analysis tools [that] can help during code review" of the
+// paper's Section III-C2. Like the tools the paper cites, it is neither
+// sound nor complete: the tests demonstrate true positives on the paper's
+// own bugs, a false negative (a bound the analyzer cannot see), and a
+// paranoid mode that trades false positives for recall.
+package analysis
+
+import (
+	"fmt"
+
+	"softsec/internal/minc"
+)
+
+// Kind classifies findings.
+type Kind string
+
+// Finding kinds.
+const (
+	// KindSpatial is a (potential) out-of-bounds access.
+	KindSpatial Kind = "spatial"
+	// KindTemporal is a dangling-pointer escape.
+	KindTemporal Kind = "temporal"
+	// KindSuspect is a paranoid-mode heuristic hit (possible false
+	// positive).
+	KindSuspect Kind = "suspect"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Kind Kind
+	Line int
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("line %d: [%s] %s", f.Line, f.Kind, f.Msg)
+}
+
+// Options tunes the analyzer.
+type Options struct {
+	// Paranoid additionally flags every read/write into a buffer whose
+	// bound the analyzer cannot establish. High recall, many false
+	// positives — the trade-off the paper describes.
+	Paranoid bool
+}
+
+// Analyze parses, checks and analyzes a MinC module.
+func Analyze(name, src string, opt Options) ([]Finding, error) {
+	f, err := minc.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minc.Check(f); err != nil {
+		return nil, err
+	}
+	a := &analyzer{opt: opt, arrays: map[*minc.Symbol]int{}, loops: map[*minc.Symbol]int64{}}
+	for _, g := range f.Globals {
+		if arr, ok := g.Type.(minc.ArrayType); ok && g.Sym != nil {
+			a.arrays[g.Sym] = arr.Size()
+		}
+	}
+	for _, fn := range f.Funcs {
+		a.fn = fn
+		a.stmt(fn.Body)
+	}
+	return a.findings, nil
+}
+
+type analyzer struct {
+	opt      Options
+	fn       *minc.FuncDecl
+	arrays   map[*minc.Symbol]int // statically known byte sizes
+	findings []Finding
+	// loops tracks enclosing counting loops: loop variable -> largest
+	// value the condition admits (inclusive), for the classic
+	// `for (i = 0; i <= N; i++) a[i]` off-by-one.
+	loops map[*minc.Symbol]int64
+}
+
+func (a *analyzer) addf(kind Kind, line int, format string, args ...any) {
+	a.findings = append(a.findings, Finding{Kind: kind, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *analyzer) stmt(s minc.Stmt) {
+	switch st := s.(type) {
+	case *minc.Block:
+		for _, x := range st.Stmts {
+			a.stmt(x)
+		}
+	case *minc.DeclStmt:
+		if arr, ok := st.Decl.Type.(minc.ArrayType); ok && st.Decl.Sym != nil {
+			a.arrays[st.Decl.Sym] = arr.Size()
+		}
+		if st.Decl.Init != nil {
+			a.expr(st.Decl.Init)
+		}
+	case *minc.ExprStmt:
+		a.expr(st.X)
+	case *minc.IfStmt:
+		a.expr(st.Cond)
+		a.stmt(st.Then)
+		if st.Else != nil {
+			a.stmt(st.Else)
+		}
+	case *minc.WhileStmt:
+		a.expr(st.Cond)
+		a.stmt(st.Body)
+	case *minc.ForStmt:
+		if st.Init != nil {
+			a.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			a.expr(st.Cond)
+		}
+		if st.Post != nil {
+			a.expr(st.Post)
+		}
+		sym, max, bounded := loopBound(st.Cond)
+		if bounded {
+			prev, had := a.loops[sym]
+			a.loops[sym] = max
+			a.stmt(st.Body)
+			if had {
+				a.loops[sym] = prev
+			} else {
+				delete(a.loops, sym)
+			}
+			return
+		}
+		a.stmt(st.Body)
+	case *minc.ReturnStmt:
+		if st.X != nil {
+			a.checkEscape(st.X, st.Line)
+			a.expr(st.X)
+		}
+	}
+}
+
+// checkEscape flags returning the address of a local — the paper's
+// temporal vulnerability (Section III-A: "if process() were to return
+// buf ... this would be an example of a temporal vulnerability").
+func (a *analyzer) checkEscape(e minc.Expr, line int) {
+	switch x := e.(type) {
+	case *minc.Ident:
+		if x.Sym != nil && x.Sym.Kind == minc.SymLocal {
+			if _, isArr := x.Sym.Type.(minc.ArrayType); isArr {
+				a.addf(KindTemporal, line,
+					"returning local array %q: dangling pointer once %s returns",
+					x.Sym.Name, a.fn.Name)
+			}
+		}
+	case *minc.Unary:
+		if x.Op == "&" {
+			if id, ok := x.X.(*minc.Ident); ok && id.Sym != nil && id.Sym.Kind == minc.SymLocal {
+				a.addf(KindTemporal, line,
+					"returning address of local %q", id.Sym.Name)
+			}
+		}
+	}
+}
+
+func constVal(e minc.Expr) (int64, bool) {
+	if n, ok := e.(*minc.NumLit); ok {
+		return n.Val, true
+	}
+	return 0, false
+}
+
+// arraySizeOf returns the statically known byte size of the buffer e
+// refers to, if any.
+func (a *analyzer) arraySizeOf(e minc.Expr) (int, *minc.Symbol, bool) {
+	if id, ok := e.(*minc.Ident); ok && id.Sym != nil {
+		if n, ok := a.arrays[id.Sym]; ok {
+			return n, id.Sym, true
+		}
+	}
+	return 0, nil, false
+}
+
+func (a *analyzer) expr(e minc.Expr) {
+	switch x := e.(type) {
+	case *minc.Call:
+		a.checkCall(x)
+		a.expr(x.Fun)
+		for _, arg := range x.Args {
+			a.expr(arg)
+		}
+	case *minc.Index:
+		a.checkIndex(x)
+		a.expr(x.X)
+		a.expr(x.I)
+	case *minc.Unary:
+		a.expr(x.X)
+	case *minc.Binary:
+		a.expr(x.X)
+		a.expr(x.Y)
+	case *minc.Assign:
+		a.expr(x.LHS)
+		a.expr(x.RHS)
+	}
+}
+
+// checkIndex flags constant out-of-bounds subscripts and the counting-loop
+// off-by-one (`for (i = 0; i <= N; i++) a[i]` with a of N elements).
+func (a *analyzer) checkIndex(x *minc.Index) {
+	size, sym, known := a.arraySizeOf(x.X)
+	if !known {
+		return
+	}
+	elem := 1
+	if arr, ok := sym.Type.(minc.ArrayType); ok {
+		elem = arr.Elem.Size()
+	}
+	if v, ok := constVal(x.I); ok {
+		if v < 0 || int(v)*elem >= size {
+			a.addf(KindSpatial, x.Pos(),
+				"index %d out of bounds for %q (%d bytes)", v, sym.Name, size)
+		}
+		return
+	}
+	if id, ok := x.I.(*minc.Ident); ok && id.Sym != nil {
+		if max, tracked := a.loops[id.Sym]; tracked && int(max)*elem >= size {
+			a.addf(KindSpatial, x.Pos(),
+				"loop index %q reaches %d: off-by-one on %q (%d bytes)",
+				id.Sym.Name, max, sym.Name, size)
+		}
+	}
+}
+
+// loopBound recognizes `i < N` / `i <= N` conditions over a variable and a
+// constant, returning the largest admitted value of i.
+func loopBound(cond minc.Expr) (*minc.Symbol, int64, bool) {
+	b, ok := cond.(*minc.Binary)
+	if !ok {
+		return nil, 0, false
+	}
+	id, ok := b.X.(*minc.Ident)
+	if !ok || id.Sym == nil {
+		return nil, 0, false
+	}
+	n, ok := constVal(b.Y)
+	if !ok {
+		return nil, 0, false
+	}
+	switch b.Op {
+	case "<":
+		return id.Sym, n - 1, true
+	case "<=":
+		return id.Sym, n, true
+	}
+	return nil, 0, false
+}
+
+// checkCall flags libc reads/writes whose constant length exceeds the
+// destination buffer — the exact bug of the paper's Figure 1 variant
+// (read(fd, buf, 32) into char buf[16]).
+func (a *analyzer) checkCall(x *minc.Call) {
+	id, ok := x.Fun.(*minc.Ident)
+	if !ok {
+		return
+	}
+	var bufArg, lenArg int
+	switch id.Name {
+	case "read", "write":
+		bufArg, lenArg = 1, 2
+	case "memset":
+		bufArg, lenArg = 0, 2
+	case "memcpy":
+		bufArg, lenArg = 0, 2
+	default:
+		return
+	}
+	if len(x.Args) <= lenArg {
+		return
+	}
+	size, sym, known := a.arraySizeOf(x.Args[bufArg])
+	n, constLen := constVal(x.Args[lenArg])
+	switch {
+	case known && constLen && n > int64(size):
+		a.addf(KindSpatial, x.Pos(),
+			"%s of %d bytes into %q, which holds only %d", id.Name, n, sym.Name, size)
+	case !known && a.opt.Paranoid:
+		a.addf(KindSuspect, x.Pos(),
+			"%s into a buffer of unknown size (paranoid)", id.Name)
+	case known && !constLen && a.opt.Paranoid:
+		a.addf(KindSuspect, x.Pos(),
+			"%s with non-constant length into %q (paranoid)", id.Name, sym.Name)
+	}
+}

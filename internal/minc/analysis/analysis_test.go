@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string, opt Options) []Finding {
+	t.Helper()
+	fs, err := Analyze("t", src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func hasKind(fs []Finding, k Kind) bool {
+	for _, f := range fs {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDetectsFigure1Bug: the paper's Section III-A bug — replacing the
+// read length 16 by 32 — must be flagged.
+func TestDetectsFigure1Bug(t *testing.T) {
+	src := `
+void process(int fd) {
+	char buf[16];
+	read(fd, buf, 32);
+}
+void main() { process(0); }`
+	fs := analyze(t, src, Options{})
+	if !hasKind(fs, KindSpatial) {
+		t.Fatalf("Figure 1 bug not detected: %v", fs)
+	}
+}
+
+func TestCleanProgramHasNoFindings(t *testing.T) {
+	src := `
+void main() {
+	char buf[16];
+	read(0, buf, 16);
+	write(1, buf, 16);
+	buf[15] = 0;
+}`
+	if fs := analyze(t, src, Options{}); len(fs) != 0 {
+		t.Fatalf("false positives on clean program: %v", fs)
+	}
+}
+
+func TestConstantIndexOOB(t *testing.T) {
+	src := `
+void main() {
+	int arr[4];
+	arr[4] = 1;
+}`
+	fs := analyze(t, src, Options{})
+	if !hasKind(fs, KindSpatial) {
+		t.Fatalf("constant OOB not found: %v", fs)
+	}
+	// Element scaling: index 3 on int[4] is fine.
+	ok := `
+void main() {
+	int arr[4];
+	arr[3] = 1;
+}`
+	if fs := analyze(t, ok, Options{}); len(fs) != 0 {
+		t.Fatalf("in-bounds index flagged: %v", fs)
+	}
+}
+
+func TestNegativeConstantIndex(t *testing.T) {
+	src := `
+void main() {
+	char b[8];
+	b[-1] = 0;
+}`
+	// -1 parses as unary minus on 1; the analyzer sees no NumLit, so it
+	// stays silent — a documented false negative of constant folding.
+	// The explicit large constant is caught:
+	src2 := `
+void main() {
+	char b[8];
+	b[8] = 0;
+}`
+	_ = src
+	fs := analyze(t, src2, Options{})
+	if !hasKind(fs, KindSpatial) {
+		t.Fatalf("b[8] not found: %v", fs)
+	}
+}
+
+// TestDetectsTemporalEscape: the paper's temporal example — returning a
+// local buffer.
+func TestDetectsTemporalEscape(t *testing.T) {
+	src := `
+char *make() {
+	char buf[16];
+	return buf;
+}
+void main() { char *p = make(); read(0, p, 16); }`
+	fs := analyze(t, src, Options{})
+	if !hasKind(fs, KindTemporal) {
+		t.Fatalf("temporal escape not found: %v", fs)
+	}
+}
+
+func TestDetectsAddressOfLocalEscape(t *testing.T) {
+	src := `
+int *leak() {
+	int x;
+	x = 5;
+	return &x;
+}
+void main() { leak(); }`
+	fs := analyze(t, src, Options{})
+	if !hasKind(fs, KindTemporal) {
+		t.Fatalf("&local escape not found: %v", fs)
+	}
+}
+
+// TestFalseNegative documents the analyzer's blind spot: a length that
+// flows through a variable defeats the constant check (this is why the
+// paper pairs static analysis with run-time checks — the checked dialect
+// catches this one at run time, see the core matrix).
+func TestFalseNegative(t *testing.T) {
+	src := `
+void main() {
+	char buf[16];
+	int n = 32;
+	read(0, buf, n);
+}`
+	fs := analyze(t, src, Options{})
+	if hasKind(fs, KindSpatial) {
+		t.Fatalf("unexpectedly clever: %v", fs)
+	}
+}
+
+// TestParanoidModeTradeoff: paranoid mode catches the variable-length case
+// as a suspect — and also flags a perfectly safe call (false positive).
+func TestParanoidModeTradeoff(t *testing.T) {
+	vulnerable := `
+void main() {
+	char buf[16];
+	int n = 32;
+	read(0, buf, n);
+}`
+	fs := analyze(t, vulnerable, Options{Paranoid: true})
+	if !hasKind(fs, KindSuspect) {
+		t.Fatalf("paranoid mode missed the variable-length read: %v", fs)
+	}
+	safe := `
+void fill(char *p) {
+	read(0, p, 8); // p's bound is unknown to the analyzer, but fine
+}
+void main() {
+	char buf[16];
+	fill(buf);
+}`
+	fs = analyze(t, safe, Options{Paranoid: true})
+	if !hasKind(fs, KindSuspect) {
+		t.Fatalf("expected a paranoid false positive: %v", fs)
+	}
+	// ...and default mode stays quiet on the same safe program.
+	if fs := analyze(t, safe, Options{}); len(fs) != 0 {
+		t.Fatalf("default mode false positive: %v", fs)
+	}
+}
+
+func TestMemRoutinesChecked(t *testing.T) {
+	src := `
+void main() {
+	char b[8];
+	memset(b, 0, 16);
+	char c[8];
+	memcpy(c, "0123456789", 10);
+}`
+	fs := analyze(t, src, Options{})
+	n := 0
+	for _, f := range fs {
+		if f.Kind == KindSpatial {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("want 2 spatial findings, got %v", fs)
+	}
+}
+
+func TestGlobalArraysTracked(t *testing.T) {
+	src := `
+char gbuf[8];
+void main() {
+	read(0, gbuf, 64);
+}`
+	fs := analyze(t, src, Options{})
+	if !hasKind(fs, KindSpatial) {
+		t.Fatalf("global array overflow not found: %v", fs)
+	}
+}
+
+func TestAnalyzeRejectsBrokenSource(t *testing.T) {
+	if _, err := Analyze("t", "int main( {", Options{}); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Kind: KindSpatial, Line: 3, Msg: "boom"}
+	if s := f.String(); !strings.Contains(s, "line 3") || !strings.Contains(s, "spatial") {
+		t.Fatalf("got %q", s)
+	}
+}
+
+// TestLoopOffByOne: the canonical `<=` fencepost bug, and its correct `<`
+// twin staying silent.
+func TestLoopOffByOne(t *testing.T) {
+	buggy := `
+void main() {
+	int a[8];
+	int i;
+	for (i = 0; i <= 8; i++) a[i] = 0;
+}`
+	fs := analyze(t, buggy, Options{})
+	if !hasKind(fs, KindSpatial) {
+		t.Fatalf("off-by-one not found: %v", fs)
+	}
+	fine := `
+void main() {
+	int a[8];
+	int i;
+	for (i = 0; i < 8; i++) a[i] = 0;
+}`
+	if fs := analyze(t, fine, Options{}); len(fs) != 0 {
+		t.Fatalf("correct loop flagged: %v", fs)
+	}
+	// Nested loops over distinct arrays, mixed bounds.
+	mixed := `
+void main() {
+	int a[4];
+	int b[4];
+	int i;
+	int j;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j <= 4; j++) b[j] = a[i];
+	}
+}`
+	fs = analyze(t, mixed, Options{})
+	count := 0
+	for _, f := range fs {
+		if f.Kind == KindSpatial {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("want exactly the inner loop flagged, got %v", fs)
+	}
+}

@@ -1,0 +1,265 @@
+package minc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a MinC type.
+type Type interface {
+	Size() int // size in bytes when stored in memory
+	String() string
+}
+
+type (
+	// IntType is the 32-bit signed int.
+	IntType struct{}
+	// CharType is the 8-bit char.
+	CharType struct{}
+	// VoidType is the return type of value-less functions.
+	VoidType struct{}
+	// PtrType is a pointer to Elem.
+	PtrType struct{ Elem Type }
+	// ArrayType is a fixed-size array; it decays to PtrType in
+	// expressions, exactly like C.
+	ArrayType struct {
+		Elem Type
+		N    int
+	}
+	// FuncType types functions and function pointers.
+	FuncType struct {
+		Ret    Type
+		Params []Type
+	}
+)
+
+// Size implements Type.
+func (IntType) Size() int  { return 4 }
+func (CharType) Size() int { return 1 }
+func (VoidType) Size() int { return 0 }
+func (PtrType) Size() int  { return 4 }
+
+// Size implements Type.
+func (a ArrayType) Size() int { return a.Elem.Size() * a.N }
+
+// Size implements Type; function pointers are addresses.
+func (FuncType) Size() int { return 4 }
+
+func (IntType) String() string   { return "int" }
+func (CharType) String() string  { return "char" }
+func (VoidType) String() string  { return "void" }
+func (p PtrType) String() string { return p.Elem.String() + "*" }
+func (a ArrayType) String() string {
+	return fmt.Sprintf("%s[%d]", a.Elem, a.N)
+}
+func (f FuncType) String() string {
+	var ps []string
+	for _, p := range f.Params {
+		ps = append(ps, p.String())
+	}
+	return fmt.Sprintf("%s(%s)", f.Ret, strings.Join(ps, ", "))
+}
+
+func isInt(t Type) bool {
+	switch t.(type) {
+	case IntType, CharType:
+		return true
+	}
+	return false
+}
+
+func isPtrLike(t Type) bool {
+	switch t.(type) {
+	case PtrType, ArrayType, FuncType:
+		return true
+	}
+	return false
+}
+
+// decay converts array and function types to pointers, as C does in
+// expression contexts.
+func decay(t Type) Type {
+	switch tt := t.(type) {
+	case ArrayType:
+		return PtrType{Elem: tt.Elem}
+	}
+	return t
+}
+
+// Expr is a MinC expression node. After type checking, T holds its type.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+type exprBase struct {
+	Line int
+	T    Type
+}
+
+func (e *exprBase) exprNode() {}
+
+// Pos returns the source line.
+func (e *exprBase) Pos() int { return e.Line }
+
+type (
+	// NumLit is an integer literal (including char literals).
+	NumLit struct {
+		exprBase
+		Val int64
+	}
+	// StrLit is a string literal; the code generator interns it in .data.
+	StrLit struct {
+		exprBase
+		Val string
+	}
+	// Ident references a variable, parameter or function.
+	Ident struct {
+		exprBase
+		Name string
+		Sym  *Symbol // resolved during checking
+	}
+	// Unary is !x, -x, ~x, *x, &x.
+	Unary struct {
+		exprBase
+		Op string
+		X  Expr
+	}
+	// Binary is x op y for arithmetic, comparison and logical operators.
+	Binary struct {
+		exprBase
+		Op   string
+		X, Y Expr
+	}
+	// Assign is lhs = rhs.
+	Assign struct {
+		exprBase
+		LHS, RHS Expr
+	}
+	// Call is fun(args); fun may be a function name or a function-pointer
+	// expression (the paper's Figure 4 get_pin()).
+	Call struct {
+		exprBase
+		Fun  Expr
+		Args []Expr
+	}
+	// Index is x[i].
+	Index struct {
+		exprBase
+		X, I Expr
+	}
+)
+
+// Stmt is a MinC statement node.
+type Stmt interface{ stmtNode() }
+
+type (
+	// ExprStmt is an expression evaluated for effect.
+	ExprStmt struct{ X Expr }
+	// DeclStmt declares a local variable.
+	DeclStmt struct{ Decl *VarDecl }
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond       Expr
+		Then, Else Stmt
+	}
+	// WhileStmt is a while loop.
+	WhileStmt struct {
+		Cond Expr
+		Body Stmt
+	}
+	// ForStmt is a for loop; any clause may be nil.
+	ForStmt struct {
+		Init Stmt // ExprStmt or DeclStmt
+		Cond Expr
+		Post Expr
+		Body Stmt
+	}
+	// ReturnStmt returns from the function; X may be nil.
+	ReturnStmt struct {
+		X    Expr
+		Line int
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+	// ContinueStmt restarts the innermost loop.
+	ContinueStmt struct{ Line int }
+	// Block is { ... } with its own scope. NoScope marks compiler-
+	// synthesized groupings (multi-declarator statements) that must share
+	// the enclosing scope.
+	Block struct {
+		Stmts   []Stmt
+		NoScope bool
+	}
+)
+
+func (*ExprStmt) stmtNode()     {}
+func (*DeclStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*Block) stmtNode()        {}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name   string
+	Type   Type
+	Init   Expr // nil when absent
+	Static bool // module-private, like the paper's Figure 2 globals
+	Line   int
+	Sym    *Symbol
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Line int
+	Sym  *Symbol // resolved during checking
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+	Static bool
+	Line   int
+}
+
+// File is a parsed translation unit (one module).
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// SymKind distinguishes what a Symbol names.
+type SymKind uint8
+
+const (
+	// SymGlobal is a module-level variable.
+	SymGlobal SymKind = iota
+	// SymLocal is a stack variable.
+	SymLocal
+	// SymParam is a function parameter.
+	SymParam
+	// SymFunc is a function.
+	SymFunc
+)
+
+// Symbol is a resolved name with storage information filled in by the
+// checker (and frame offsets by the code generator).
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Type   Type
+	Static bool
+	// FrameOff is the EBP-relative offset: negative for locals,
+	// +8, +12, ... for parameters (the paper's Figure 1 layout).
+	FrameOff int32
+}

@@ -1,0 +1,449 @@
+package minc
+
+import "fmt"
+
+// checker performs name resolution and (permissive, C-like) type checking.
+// MinC is deliberately weakly typed where C is: integers convert to
+// pointers and back without complaint, because the attacks of Section III
+// depend on exactly that looseness.
+type checker struct {
+	file   string
+	errs   []error
+	scopes []map[string]*Symbol
+	fn     *FuncDecl
+	fnSym  *Symbol
+	loop   int
+	// externs collects implicitly declared functions (C89-style), which
+	// the code generator turns into link-time references.
+	externs map[string]*Symbol
+}
+
+// libcSignatures are the functions every MinC module may call without
+// declaring them; the kernel's libc provides the implementations.
+func libcSignatures() map[string]FuncType {
+	intT := IntType{}
+	charP := PtrType{Elem: CharType{}}
+	return map[string]FuncType{
+		"read":        {Ret: intT, Params: []Type{intT, charP, intT}},
+		"write":       {Ret: intT, Params: []Type{intT, charP, intT}},
+		"exit":        {Ret: VoidType{}, Params: []Type{intT}},
+		"sbrk":        {Ret: charP, Params: []Type{intT}},
+		"malloc":      {Ret: charP, Params: []Type{intT}},
+		"free":        {Ret: VoidType{}, Params: []Type{charP}},
+		"strlen":      {Ret: intT, Params: []Type{charP}},
+		"puts":        {Ret: intT, Params: []Type{charP}},
+		"memcpy":      {Ret: charP, Params: []Type{charP, charP, intT}},
+		"memset":      {Ret: charP, Params: []Type{charP, intT, intT}},
+		"spawn_shell": {Ret: VoidType{}, Params: nil},
+		"syscall3":    {Ret: intT, Params: []Type{intT, intT, intT, intT}},
+	}
+}
+
+// Check resolves names and types in f, returning the first error batch.
+func Check(f *File) error {
+	c := &checker{file: f.Name, externs: make(map[string]*Symbol)}
+	c.push()
+	for name, sig := range libcSignatures() {
+		c.define(&Symbol{Name: name, Kind: SymFunc, Type: sig})
+	}
+	// Module scope: declare globals and functions before checking bodies
+	// so forward references work.
+	for _, g := range f.Globals {
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Type, Static: g.Static}
+		g.Sym = sym
+		if !c.define(sym) {
+			c.errf(g.Line, "redefinition of %q", g.Name)
+		}
+	}
+	fnSyms := map[string]*Symbol{}
+	for _, fn := range f.Funcs {
+		var ps []Type
+		for _, p := range fn.Params {
+			ps = append(ps, decay(p.Type))
+		}
+		sym := &Symbol{
+			Name: fn.Name, Kind: SymFunc, Static: fn.Static,
+			Type: FuncType{Ret: fn.Ret, Params: ps},
+		}
+		fnSyms[fn.Name] = sym
+		if !c.define(sym) {
+			c.errf(fn.Line, "redefinition of %q", fn.Name)
+		}
+	}
+	for _, g := range f.Globals {
+		if g.Init != nil {
+			c.expr(g.Init)
+			switch g.Init.(type) {
+			case *NumLit, *StrLit:
+			default:
+				c.errf(g.Line, "global initializer for %q must be a constant", g.Name)
+			}
+		}
+		if _, isVoid := g.Type.(VoidType); isVoid {
+			c.errf(g.Line, "variable %q has void type", g.Name)
+		}
+	}
+	for _, fn := range f.Funcs {
+		c.fn = fn
+		c.fnSym = fnSyms[fn.Name]
+		c.push()
+		for i := range fn.Params {
+			p := &fn.Params[i]
+			t := decay(p.Type)
+			p.Type = t
+			// Figure 1 layout: parameter i sits at [ebp+8+4i], above the
+			// return address (+4) and the saved base pointer (+0).
+			sym := &Symbol{Name: p.Name, Kind: SymParam, Type: t, FrameOff: int32(8 + 4*i)}
+			p.Sym = sym
+			if !c.define(sym) {
+				c.errf(p.Line, "duplicate parameter %q", p.Name)
+			}
+		}
+		c.block(fn.Body, false)
+		c.pop()
+	}
+	c.pop()
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+func (c *checker) errf(line int, format string, args ...any) {
+	c.errs = append(c.errs, &CompileError{File: c.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(s *Symbol) bool {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[s.Name]; dup {
+		return false
+	}
+	top[s.Name] = s
+	return true
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) block(b *Block, newScope bool) {
+	if newScope {
+		c.push()
+		defer c.pop()
+	}
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		c.block(st, !st.NoScope)
+	case *ExprStmt:
+		c.expr(st.X)
+	case *DeclStmt:
+		d := st.Decl
+		if _, isVoid := d.Type.(VoidType); isVoid {
+			c.errf(d.Line, "variable %q has void type", d.Name)
+		}
+		sym := &Symbol{Name: d.Name, Kind: SymLocal, Type: d.Type}
+		d.Sym = sym
+		if !c.define(sym) {
+			c.errf(d.Line, "redefinition of %q", d.Name)
+		}
+		if d.Init != nil {
+			t := c.expr(d.Init)
+			if arr, isArr := d.Type.(ArrayType); isArr {
+				// Only `char buf[N] = "literal"` is supported, C-style.
+				lit, isStr := d.Init.(*StrLit)
+				_, isChar := arr.Elem.(CharType)
+				switch {
+				case !isStr || !isChar:
+					c.errf(d.Line, "array %q cannot have an initializer", d.Name)
+				case len(lit.Val)+1 > arr.Size():
+					c.errf(d.Line, "string literal (%d bytes + NUL) overflows %q (%d bytes)",
+						len(lit.Val), d.Name, arr.Size())
+				}
+			} else {
+				c.checkAssignable(d.Line, d.Type, t)
+			}
+		}
+	case *IfStmt:
+		c.condition(st.Cond)
+		c.stmt(st.Then)
+		if st.Else != nil {
+			c.stmt(st.Else)
+		}
+	case *WhileStmt:
+		c.condition(st.Cond)
+		c.loop++
+		c.stmt(st.Body)
+		c.loop--
+	case *ForStmt:
+		c.push()
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.condition(st.Cond)
+		}
+		if st.Post != nil {
+			c.expr(st.Post)
+		}
+		c.loop++
+		c.stmt(st.Body)
+		c.loop--
+		c.pop()
+	case *ReturnStmt:
+		ret := c.fn.Ret
+		if st.X == nil {
+			if _, isVoid := ret.(VoidType); !isVoid {
+				c.errf(st.Line, "return without value in %q returning %s", c.fn.Name, ret)
+			}
+			return
+		}
+		t := c.expr(st.X)
+		if _, isVoid := ret.(VoidType); isVoid {
+			c.errf(st.Line, "return with value in void function %q", c.fn.Name)
+			return
+		}
+		c.checkAssignable(st.Line, ret, t)
+	case *BreakStmt:
+		if c.loop == 0 {
+			c.errf(st.Line, "break outside loop")
+		}
+	case *ContinueStmt:
+		if c.loop == 0 {
+			c.errf(st.Line, "continue outside loop")
+		}
+	}
+}
+
+func (c *checker) condition(e Expr) {
+	t := c.expr(e)
+	if t == nil {
+		return
+	}
+	if !isInt(t) && !isPtrLike(decay(t)) {
+		c.errf(e.Pos(), "condition has non-scalar type %s", t)
+	}
+}
+
+// checkAssignable enforces MinC's (loose) assignment compatibility.
+func (c *checker) checkAssignable(line int, dst, src Type) {
+	if dst == nil || src == nil {
+		return
+	}
+	sd := decay(src)
+	switch dst.(type) {
+	case IntType, CharType:
+		if isInt(sd) || isPtrLike(sd) {
+			return // pointer-to-int truncation allowed, as in old C
+		}
+	case PtrType, FuncType:
+		if isPtrLike(sd) || isInt(sd) {
+			return // int-to-pointer allowed: this looseness is the point
+		}
+	case ArrayType:
+		c.errf(line, "cannot assign to array")
+		return
+	case VoidType:
+		return
+	}
+	c.errf(line, "cannot assign %s to %s", src, dst)
+}
+
+func (c *checker) lvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		if x.Sym == nil {
+			return false
+		}
+		if x.Sym.Kind == SymFunc {
+			return false
+		}
+		if _, isArr := x.Sym.Type.(ArrayType); isArr {
+			return false
+		}
+		return true
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == "*"
+	}
+	return false
+}
+
+// expr type-checks e and returns its type (possibly nil after an error).
+func (c *checker) expr(e Expr) Type {
+	switch x := e.(type) {
+	case *NumLit:
+		x.T = IntType{}
+		return x.T
+
+	case *StrLit:
+		x.T = PtrType{Elem: CharType{}}
+		return x.T
+
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errf(x.Line, "undeclared identifier %q", x.Name)
+			x.T = IntType{}
+			return x.T
+		}
+		x.Sym = sym
+		x.T = sym.Type
+		return x.T
+
+	case *Unary:
+		t := c.expr(x.X)
+		switch x.Op {
+		case "!", "-", "~":
+			if t != nil && !isInt(decay(t)) && !isPtrLike(decay(t)) {
+				c.errf(x.Line, "unary %s on %s", x.Op, t)
+			}
+			x.T = IntType{}
+		case "*":
+			switch tt := decay(t).(type) {
+			case PtrType:
+				x.T = tt.Elem
+			default:
+				c.errf(x.Line, "cannot dereference %s", t)
+				x.T = IntType{}
+			}
+		case "&":
+			if !c.lvalue(x.X) {
+				// &array and &function are allowed and yield the
+				// same address as the bare name.
+				if id, ok := x.X.(*Ident); ok && id.Sym != nil {
+					switch id.Sym.Type.(type) {
+					case ArrayType, FuncType:
+						x.T = decay(id.Sym.Type)
+						return x.T
+					}
+				}
+				c.errf(x.Line, "cannot take address of this expression")
+			}
+			if t == nil {
+				t = IntType{}
+			}
+			x.T = PtrType{Elem: t}
+		}
+		return x.T
+
+	case *Binary:
+		tx := decay(c.expr(x.X))
+		ty := decay(c.expr(x.Y))
+		switch x.Op {
+		case "+", "-":
+			px, _ := tx.(PtrType)
+			py, _ := ty.(PtrType)
+			switch {
+			case isPtrLike(tx) && isInt(ty):
+				x.T = PtrType{Elem: elemOf(tx, px)}
+			case isInt(tx) && isPtrLike(ty) && x.Op == "+":
+				x.T = PtrType{Elem: elemOf(ty, py)}
+			case isInt(tx) && isInt(ty):
+				x.T = IntType{}
+			case isPtrLike(tx) && isPtrLike(ty) && x.Op == "-":
+				c.errf(x.Line, "pointer difference is not supported")
+				x.T = IntType{}
+			default:
+				c.errf(x.Line, "invalid operands to %s: %s and %s", x.Op, tx, ty)
+				x.T = IntType{}
+			}
+		case "*", "/", "%", "<<", ">>", "&", "|", "^":
+			if tx != nil && ty != nil && (!isInt(tx) || !isInt(ty)) {
+				c.errf(x.Line, "invalid operands to %s: %s and %s", x.Op, tx, ty)
+			}
+			x.T = IntType{}
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			x.T = IntType{}
+		default:
+			c.errf(x.Line, "unknown operator %s", x.Op)
+			x.T = IntType{}
+		}
+		return x.T
+
+	case *Assign:
+		lt := c.expr(x.LHS)
+		if !c.lvalue(x.LHS) {
+			c.errf(x.Line, "assignment target is not an lvalue")
+		}
+		rt := c.expr(x.RHS)
+		c.checkAssignable(x.Line, lt, rt)
+		x.T = lt
+		return x.T
+
+	case *Call:
+		// Direct call of an undeclared name: C89 implicit declaration.
+		if id, ok := x.Fun.(*Ident); ok && c.lookup(id.Name) == nil {
+			sym, seen := c.externs[id.Name]
+			if !seen {
+				sym = &Symbol{Name: id.Name, Kind: SymFunc, Type: FuncType{Ret: IntType{}}}
+				c.externs[id.Name] = sym
+			}
+			id.Sym = sym
+			id.T = sym.Type
+			for _, a := range x.Args {
+				c.expr(a)
+			}
+			x.T = IntType{}
+			return x.T
+		}
+		ft := c.expr(x.Fun)
+		sig, ok := decay(ft).(FuncType)
+		if !ok {
+			if _, isPtr := decay(ft).(PtrType); !isPtr {
+				c.errf(x.Line, "called object is not a function (type %s)", ft)
+			}
+			sig = FuncType{Ret: IntType{}}
+		}
+		if sig.Params != nil && len(sig.Params) != len(x.Args) {
+			c.errf(x.Line, "call has %d arguments, want %d", len(x.Args), len(sig.Params))
+		}
+		for i, a := range x.Args {
+			at := c.expr(a)
+			if sig.Params != nil && i < len(sig.Params) {
+				c.checkAssignable(a.Pos(), sig.Params[i], at)
+			}
+		}
+		x.T = sig.Ret
+		return x.T
+
+	case *Index:
+		tx := decay(c.expr(x.X))
+		ti := c.expr(x.I)
+		if ti != nil && !isInt(decay(ti)) {
+			c.errf(x.Line, "array index has type %s", ti)
+		}
+		if p, ok := tx.(PtrType); ok {
+			x.T = p.Elem
+		} else {
+			c.errf(x.Line, "indexed object has type %s", tx)
+			x.T = IntType{}
+		}
+		return x.T
+	}
+	return nil
+}
+
+func elemOf(t Type, p PtrType) Type {
+	if p.Elem != nil {
+		return p.Elem
+	}
+	if a, ok := t.(ArrayType); ok {
+		return a.Elem
+	}
+	return IntType{}
+}

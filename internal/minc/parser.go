@@ -1,0 +1,603 @@
+package minc
+
+import "fmt"
+
+type parser struct {
+	file string
+	toks []token
+	i    int
+}
+
+// Parse parses MinC source into an AST. file names the module (it becomes
+// the asm.Image name after compilation).
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	f := &File{Name: file}
+	for !p.at(tokEOF) {
+		if err := p.parseTopLevel(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token        { return p.toks[p.i] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(s string) bool {
+	if p.atPunct(s) || p.atKeyword(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &CompileError{File: p.file, Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, found %q", s, p.cur().String())
+	}
+	return nil
+}
+
+func (p *parser) isTypeStart() bool {
+	return p.atKeyword("int") || p.atKeyword("char") || p.atKeyword("void") || p.atKeyword("static")
+}
+
+func (p *parser) parseBaseType() (Type, error) {
+	switch {
+	case p.accept("int"):
+		return IntType{}, nil
+	case p.accept("char"):
+		return CharType{}, nil
+	case p.accept("void"):
+		return VoidType{}, nil
+	}
+	return nil, p.errf("expected type, found %q", p.cur().String())
+}
+
+// parseDeclarator parses "*"* name with an optional array/function suffix.
+// funcOK selects whether a parameter list is allowed (top level) or only
+// the abbreviated function-pointer form "name()" (parameters).
+func (p *parser) parseDeclarator(base Type) (name string, t Type, params []Param, isFunc bool, err error) {
+	t = base
+	for p.accept("*") {
+		t = PtrType{Elem: t}
+	}
+	if !p.at(tokIdent) {
+		return "", nil, nil, false, p.errf("expected identifier, found %q", p.cur().String())
+	}
+	name = p.advance().text
+	switch {
+	case p.accept("["):
+		if p.atPunct("]") {
+			// unsized array declarator decays to pointer (params only)
+			p.advance()
+			t = PtrType{Elem: t}
+			return name, t, nil, false, nil
+		}
+		if !p.at(tokNumber) && !p.at(tokChar) {
+			return "", nil, nil, false, p.errf("array size must be a constant")
+		}
+		n := p.advance().num
+		if n <= 0 || n > 1<<20 {
+			return "", nil, nil, false, p.errf("bad array size %d", n)
+		}
+		if err := p.expect("]"); err != nil {
+			return "", nil, nil, false, err
+		}
+		t = ArrayType{Elem: t, N: int(n)}
+	case p.accept("("):
+		ps, err := p.parseParams()
+		if err != nil {
+			return "", nil, nil, false, err
+		}
+		return name, t, ps, true, nil
+	}
+	return name, t, nil, false, nil
+}
+
+func (p *parser) parseParams() ([]Param, error) {
+	var out []Param
+	if p.accept(")") {
+		return out, nil
+	}
+	if p.atKeyword("void") && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == ")" {
+		p.advance()
+		p.advance()
+		return out, nil
+	}
+	for {
+		line := p.cur().line
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		name, t, innerParams, isFunc, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if isFunc {
+			// The paper's Figure 4 style: `int get_pin()` as a
+			// parameter declares a function-pointer parameter.
+			var ptypes []Type
+			for _, ip := range innerParams {
+				ptypes = append(ptypes, ip.Type)
+			}
+			t = FuncType{Ret: t, Params: ptypes}
+		}
+		out = append(out, Param{Name: name, Type: t, Line: line})
+		if p.accept(")") {
+			return out, nil
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseTopLevel(f *File) error {
+	static := p.accept("static")
+	line := p.cur().line
+	base, err := p.parseBaseType()
+	if err != nil {
+		return err
+	}
+	name, t, params, isFunc, err := p.parseDeclarator(base)
+	if err != nil {
+		return err
+	}
+	if isFunc {
+		if p.atPunct(";") {
+			// Forward declaration (prototype): record nothing; the
+			// checker collects signatures from definitions and extern
+			// calls are resolved at link time.
+			p.advance()
+			return nil
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, &FuncDecl{
+			Name: name, Ret: t, Params: params, Body: body,
+			Static: static, Line: line,
+		})
+		return nil
+	}
+	// Global variable(s).
+	for {
+		var init Expr
+		if p.accept("=") {
+			init, err = p.parseExpr()
+			if err != nil {
+				return err
+			}
+		}
+		f.Globals = append(f.Globals, &VarDecl{
+			Name: name, Type: t, Init: init, Static: static, Line: line,
+		})
+		if p.accept(";") {
+			return nil
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		name, t, _, isFunc, err = p.parseDeclarator(base)
+		if err != nil {
+			return err
+		}
+		if isFunc {
+			return p.errf("function declarator in variable list")
+		}
+	}
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.parseBlock()
+
+	case p.atKeyword("if"):
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept("else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+
+	case p.atKeyword("while"):
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.atKeyword("for"):
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.atPunct(";") {
+			if p.isTypeStart() {
+				d, err := p.parseLocalDecl()
+				if err != nil {
+					return nil, err
+				}
+				init = d
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				init = &ExprStmt{X: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.advance()
+		}
+		var cond Expr
+		var err error
+		if !p.atPunct(";") {
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var post Expr
+		if !p.atPunct(")") {
+			post, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.atKeyword("return"):
+		line := p.cur().line
+		p.advance()
+		var x Expr
+		var err error
+		if !p.atPunct(";") {
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Line: line}, nil
+
+	case p.atKeyword("break"):
+		line := p.cur().line
+		p.advance()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+
+	case p.atKeyword("continue"):
+		line := p.cur().line
+		p.advance()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+
+	case p.isTypeStart():
+		return p.parseLocalDecl()
+
+	case p.accept(";"):
+		return &Block{}, nil
+
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+// parseLocalDecl parses one local declaration statement (consuming ';').
+// Multiple declarators become nested blocks of DeclStmts at check time; we
+// return a Block when there is more than one.
+func (p *parser) parseLocalDecl() (Stmt, error) {
+	static := p.accept("static")
+	if static {
+		return nil, p.errf("static locals are not supported")
+	}
+	line := p.cur().line
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []Stmt
+	for {
+		name, t, _, isFunc, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if isFunc {
+			return nil, p.errf("nested function declarations are not supported")
+		}
+		var init Expr
+		if p.accept("=") {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, &DeclStmt{Decl: &VarDecl{
+			Name: name, Type: t, Init: init, Line: line,
+		}})
+		if p.accept(";") {
+			break
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &Block{Stmts: decls, NoScope: true}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.atPunct("=") {
+		line := p.cur().line
+		p.advance()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase: exprBase{Line: line}, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// binary operator precedence levels, low to high.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.atPunct(op) {
+				line := p.cur().line
+				p.advance()
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{exprBase: exprBase{Line: line}, Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	for _, op := range []string{"!", "-", "~", "*", "&"} {
+		if p.atPunct(op) {
+			line := p.cur().line
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase: exprBase{Line: line}, Op: op, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("("):
+			line := p.cur().line
+			p.advance()
+			var args []Expr
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			x = &Call{exprBase: exprBase{Line: line}, Fun: x, Args: args}
+
+		case p.atPunct("["):
+			line := p.cur().line
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Line: line}, X: x, I: idx}
+
+		case p.atPunct("++"), p.atPunct("--"):
+			// Statement-style sugar: x++ is compiled as x = x + 1 and
+			// yields the *new* value (divergence from C, fine for the
+			// paper's `tries_left--;` usage).
+			line := p.cur().line
+			op := "+"
+			if p.cur().text == "--" {
+				op = "-"
+			}
+			p.advance()
+			one := &NumLit{exprBase: exprBase{Line: line}, Val: 1}
+			x = &Assign{
+				exprBase: exprBase{Line: line},
+				LHS:      x,
+				RHS:      &Binary{exprBase: exprBase{Line: line}, Op: op, X: x, Y: one},
+			}
+
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber, tokChar:
+		p.advance()
+		return &NumLit{exprBase: exprBase{Line: t.line}, Val: t.num}, nil
+	case tokString:
+		p.advance()
+		return &StrLit{exprBase: exprBase{Line: t.line}, Val: t.text}, nil
+	case tokIdent:
+		p.advance()
+		return &Ident{exprBase: exprBase{Line: t.line}, Name: t.text}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, p.errf("unexpected %q in expression", t.String())
+}

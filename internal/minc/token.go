@@ -1,0 +1,287 @@
+// Package minc implements MinC, the deliberately unsafe C subset the
+// reproduction compiles to SM32 machine code.
+//
+// MinC exists because the paper's entire Section III is about what happens
+// when "software is developed as source code in a high-level language and
+// subsequently compiled to machine code" without memory safety. The
+// language supports exactly the features the paper's examples use: ints,
+// chars, pointers, fixed-size arrays, static (module-private) globals,
+// ordinary functions, and function-pointer parameters declared in the
+// paper's Figure 4 style (`int get_secret(int get_pin())`).
+//
+// The code generator reproduces the frame layout of the paper's Figure 1:
+// saved return address above saved base pointer above locals, outgoing
+// call arguments stored at the bottom of the frame with mov-to-[esp+k].
+// Buffer overflows therefore corrupt frames in exactly the order the paper
+// describes.
+//
+// Compiler options add the countermeasures of Section III-C: stack
+// canaries, the bounds-checked dialect (allocation registry + checks), and
+// the secure-compilation function-pointer guard of Section IV-B.
+package minc
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokChar
+	tokString
+	tokPunct
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "static": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	default:
+		return t.text
+	}
+}
+
+// CompileError is a diagnostic with a source position.
+type CompileError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type lexer struct {
+	file string
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &CompileError{File: l.file, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// twoCharPuncts are matched greedily before single-char punctuation.
+var twoCharPuncts = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case isSpace(c):
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isLetter(c):
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+
+	case isDigit(c):
+		base := 10
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.pos += 2
+			start = l.pos
+		}
+		var v int64
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			var dv int64
+			switch {
+			case isDigit(d):
+				dv = int64(d - '0')
+			case base == 16 && d >= 'a' && d <= 'f':
+				dv = int64(d-'a') + 10
+			case base == 16 && d >= 'A' && d <= 'F':
+				dv = int64(d-'A') + 10
+			default:
+				goto doneNum
+			}
+			v = v*int64(base) + dv
+			l.pos++
+		}
+	doneNum:
+		if l.pos == start {
+			return token{}, l.errf("malformed number")
+		}
+		return token{kind: tokNumber, num: v, line: l.line}, nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated char literal")
+		}
+		var v byte
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated char literal")
+			}
+			e, err := unescape(l.src[l.pos])
+			if err != nil {
+				return token{}, l.errf("%v", err)
+			}
+			v = e
+		} else {
+			v = l.src[l.pos]
+		}
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			return token{}, l.errf("unterminated char literal")
+		}
+		l.pos++
+		return token{kind: tokChar, num: int64(v), line: l.line}, nil
+
+	case c == '"':
+		l.pos++
+		var out []byte
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			ch := l.src[l.pos]
+			if ch == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			if ch == '\\' {
+				l.pos++
+				if l.pos >= len(l.src) {
+					break
+				}
+				e, err := unescape(l.src[l.pos])
+				if err != nil {
+					return token{}, l.errf("%v", err)
+				}
+				out = append(out, e)
+			} else {
+				out = append(out, ch)
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		l.pos++
+		return token{kind: tokString, text: string(out), line: l.line}, nil
+
+	default:
+		for _, p := range twoCharPuncts {
+			if l.pos+2 <= len(l.src) && l.src[l.pos:l.pos+2] == p {
+				l.pos += 2
+				return token{kind: tokPunct, text: p, line: l.line}, nil
+			}
+		}
+		if isPunct(c) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+func isPunct(c byte) bool {
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|', '^', '~',
+		'(', ')', '{', '}', '[', ']', ';', ',':
+		return true
+	}
+	return false
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, fmt.Errorf("unknown escape \\%c", c)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(file, src string) ([]token, error) {
+	l := newLexer(file, src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package pma implements a Protected Module Architecture (the paper's
+// Section IV-A): hardware-enforced memory access control that isolates
+// modules *within* a single address space, plus the associated trusted
+// services — attestation keyed on module code, sealing, and
+// state-continuity (rollback-protected persistent state, Section IV-C).
+//
+// The access-control model is exactly the paper's three rules:
+//
+//  1. When the instruction pointer is outside a protected module, access to
+//     memory in the protected module is prohibited.
+//  2. When the instruction pointer is inside the module, its data can be
+//     read and written and its code executed.
+//  3. The only way for the instruction pointer to enter the module is a
+//     jump to one of its designated entry points.
+//
+// The Policy type enforces these rules as a cpu.Policy, i.e. at the same
+// architectural layer as real PMAs (Sancus, Intel SGX): below the
+// operating system. That is why even the kernel-level memory scraper
+// (KernelScrape) comes back empty-handed.
+package pma
+
+import (
+	"fmt"
+
+	"softsec/internal/kernel"
+)
+
+// Module describes one protected module's memory layout.
+type Module struct {
+	Name      string
+	CodeStart uint32
+	CodeEnd   uint32 // exclusive
+	DataStart uint32
+	DataEnd   uint32 // exclusive
+	// Entries are the designated entry points (absolute addresses inside
+	// [CodeStart, CodeEnd)).
+	Entries []uint32
+}
+
+// FromProcess builds a Module from a linked module's loaded bounds,
+// taking the entry points recorded by the assembler's .entry directives.
+func FromProcess(p *kernel.Process, name string) (Module, error) {
+	b, ok := p.Module(name)
+	if !ok {
+		return Module{}, fmt.Errorf("pma: process has no module %q", name)
+	}
+	if len(b.Entries) == 0 {
+		return Module{}, fmt.Errorf("pma: module %q has no entry points", name)
+	}
+	return Module{
+		Name:      name,
+		CodeStart: b.TextStart,
+		CodeEnd:   b.TextEnd,
+		DataStart: b.DataStart,
+		DataEnd:   b.DataEnd,
+		Entries:   b.Entries,
+	}, nil
+}
+
+func (m *Module) inCode(a uint32) bool { return a >= m.CodeStart && a < m.CodeEnd }
+func (m *Module) inData(a uint32) bool { return a >= m.DataStart && a < m.DataEnd }
+func (m *Module) contains(a uint32) bool {
+	return m.inCode(a) || m.inData(a)
+}
+
+func (m *Module) isEntry(a uint32) bool {
+	for _, e := range m.Entries {
+		if a == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Violation is a PMA access-control fault. It satisfies error; the CPU
+// wraps it in a FaultPolicy, which the scenario engine classifies as
+// Detected (the hardware blocked the attack).
+type Violation struct {
+	Rule   string
+	Module string
+	IP     uint32 // instruction (or source of the transfer)
+	Addr   uint32 // accessed address (or transfer target)
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("pma violation (%s) on module %s: ip 0x%08x, addr 0x%08x",
+		v.Rule, v.Module, v.IP, v.Addr)
+}
+
+// Policy enforces the access rules for a set of protected modules. It
+// implements cpu.Policy.
+type Policy struct {
+	modules []Module
+}
+
+// NewPolicy returns a policy protecting the given modules. Module ranges
+// must not overlap.
+func NewPolicy(mods ...Module) (*Policy, error) {
+	for i := range mods {
+		for j := range mods {
+			if i == j {
+				continue
+			}
+			a, b := &mods[i], &mods[j]
+			if rangesOverlap(a.CodeStart, a.CodeEnd, b.CodeStart, b.CodeEnd) ||
+				rangesOverlap(a.DataStart, a.DataEnd, b.DataStart, b.DataEnd) {
+				return nil, fmt.Errorf("pma: modules %s and %s overlap", a.Name, b.Name)
+			}
+		}
+		for _, e := range mods[i].Entries {
+			if !mods[i].inCode(e) {
+				return nil, fmt.Errorf("pma: module %s: entry 0x%08x outside code", mods[i].Name, e)
+			}
+		}
+	}
+	return &Policy{modules: mods}, nil
+}
+
+func rangesOverlap(a0, a1, b0, b1 uint32) bool {
+	return a0 < b1 && b0 < a1
+}
+
+// owner returns the module containing addr (code or data), or nil.
+func (p *Policy) owner(addr uint32) *Module {
+	for i := range p.modules {
+		if p.modules[i].contains(addr) {
+			return &p.modules[i]
+		}
+	}
+	return nil
+}
+
+// codeOwner returns the module whose code section contains addr, or nil.
+func (p *Policy) codeOwner(addr uint32) *Module {
+	for i := range p.modules {
+		if p.modules[i].inCode(addr) {
+			return &p.modules[i]
+		}
+	}
+	return nil
+}
+
+// Modules returns the protected modules.
+func (p *Policy) Modules() []Module { return p.modules }
+
+// CheckRead implements cpu.Policy rule 1/2 for loads.
+func (p *Policy) CheckRead(ip, addr uint32, size int) error {
+	return p.checkAccess("read", ip, addr, size)
+}
+
+// CheckWrite implements cpu.Policy rule 1/2 for stores. Module code is
+// never writable, not even from inside (W^X within the module).
+func (p *Policy) CheckWrite(ip, addr uint32, size int) error {
+	for i := 0; i < size; i++ {
+		if m := p.codeOwner(addr + uint32(i)); m != nil {
+			return &Violation{Rule: "code-write", Module: m.Name, IP: ip, Addr: addr}
+		}
+	}
+	return p.checkAccess("write", ip, addr, size)
+}
+
+func (p *Policy) checkAccess(kind string, ip, addr uint32, size int) error {
+	ipOwner := p.owner(ip)
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		m := p.owner(a)
+		if m == nil {
+			continue // unprotected memory: ordinary page rules apply
+		}
+		if ipOwner != m {
+			return &Violation{Rule: kind + "-from-outside", Module: m.Name, IP: ip, Addr: a}
+		}
+	}
+	return nil
+}
+
+// CheckExec implements rule 3: control may enter a module only through an
+// entry point; internal flow and leaving are free. Module data is never
+// executable.
+func (p *Policy) CheckExec(from, to uint32) error {
+	for i := range p.modules {
+		if p.modules[i].inData(to) {
+			return &Violation{Rule: "exec-data", Module: p.modules[i].Name, IP: from, Addr: to}
+		}
+	}
+	src := p.codeOwner(from)
+	dst := p.codeOwner(to)
+	if dst == nil || dst == src {
+		return nil
+	}
+	if !dst.isEntry(to) {
+		return &Violation{Rule: "enter-not-entry", Module: dst.Name, IP: from, Addr: to}
+	}
+	return nil
+}
+
+// Protect installs the policy on a process and returns it, mirroring the
+// hardware configuration step a PMA loader performs.
+func Protect(p *kernel.Process, names ...string) (*Policy, error) {
+	var mods []Module
+	for _, n := range names {
+		m, err := FromProcess(p, n)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	pol, err := NewPolicy(mods...)
+	if err != nil {
+		return nil, err
+	}
+	p.CPU.Policy = pol
+	// The kernel's syscall copies are machine code below the module too:
+	// they may not reach into protected memory either.
+	p.CopyGuard = func(addr, n uint32, write bool) error {
+		for i := uint32(0); i < n; i++ {
+			if m := pol.owner(addr + i); m != nil {
+				return &Violation{Rule: "kernel-copy", Module: m.Name, Addr: addr + i}
+			}
+		}
+		return nil
+	}
+	return pol, nil
+}
+
+// KernelScrape is attack.KernelScrape's counterpart on a PMA machine: the
+// kernel-level scraper still walks all mapped memory, but the hardware
+// access control applies to privileged software too (the paper: "they can
+// no longer be scraped from memory by malicious machine code in one of the
+// other modules, or even by malware in the kernel"). Protected ranges read
+// as zeroes, exactly like SGX's abort-page semantics.
+func (p *Policy) KernelScrape(proc *kernel.Process, pattern []byte) []uint32 {
+	var hits []uint32
+	for _, r := range proc.Mem.Regions() {
+		data, _ := proc.Mem.PeekRaw(r.Addr, int(r.Size))
+		// Blank protected ranges: the hardware returns the abort value.
+		for i := range data {
+			if p.owner(r.Addr+uint32(i)) != nil {
+				data[i] = 0
+			}
+		}
+		for off := 0; off+len(pattern) <= len(data); off++ {
+			match := true
+			for j, b := range pattern {
+				if data[off+j] != b {
+					match = false
+					break
+				}
+			}
+			if match {
+				hits = append(hits, r.Addr+uint32(off))
+			}
+		}
+	}
+	return hits
+}

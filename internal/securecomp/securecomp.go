@@ -1,0 +1,232 @@
+// Package securecomp implements secure compilation to a Protected Module
+// Architecture (the paper's Section IV-B): it takes a MinC module and
+// produces a protected-module image whose machine-code interface exposes
+// no more behaviour than the source-code interface.
+//
+// The hardening steps, each of which defeats a concrete machine-code
+// attack demonstrated in this package's tests:
+//
+//   - Entry veneers: exported functions are reachable only through
+//     generated veneers registered as PMA entry points, with a
+//     re-entrancy latch.
+//   - Function-pointer guard (the paper's own example defence): an
+//     indirect call through an externally supplied pointer fails fast if
+//     the pointer aims *into* the module — blocking the Figure 4
+//     tries_left-reset exploit.
+//   - Private call stack: the module's frames live inside protected data,
+//     so no secret-derived temporaries remain readable on the shared
+//     stack after a call ("stack residue" leaks), and outside code cannot
+//     corrupt module frames.
+//   - Register scrubbing: veneers clear every scratch register except the
+//     return value on exit, so module addresses and intermediate values
+//     do not leak through the register file.
+//   - Out-call gate: calls from the module to outside code (e.g. the
+//     get_pin callback of Figure 4) leave through a thunk that parks the
+//     internal return address in protected data and re-enters through a
+//     dedicated gate entry — the only way back in, as rule 3 demands.
+package securecomp
+
+import (
+	"fmt"
+	"strings"
+
+	"softsec/internal/asm"
+	"softsec/internal/minc"
+)
+
+// Export declares one function of the module's source-level interface.
+type Export struct {
+	Name string
+	// Args is the number of 32-bit arguments (veneers copy them to the
+	// module stack).
+	Args int
+}
+
+// Options selects hardening steps, so their effect can be measured
+// individually (the T4 ablation).
+type Options struct {
+	// Veneer interposes entry veneers; false is the naive compilation
+	// that simply marks the exported functions as PMA entries.
+	Veneer bool
+	// FnPtrGuard enables the pointer-into-module defensive check.
+	FnPtrGuard bool
+	// PrivateStack runs the module on a stack inside protected data.
+	PrivateStack bool
+	// ScrubRegs clears scratch registers on exit.
+	ScrubRegs bool
+	// OutcallGate routes indirect out-calls through the re-entry gate.
+	// Required for callback-taking modules under a PMA; implies Veneer.
+	OutcallGate bool
+	// StackSize is the private stack size in bytes (default 512).
+	StackSize int
+}
+
+// Naive returns the unhardened configuration: direct entries, no checks.
+func Naive() Options { return Options{} }
+
+// Full returns every hardening step enabled.
+func Full() Options {
+	return Options{
+		Veneer: true, FnPtrGuard: true, PrivateStack: true,
+		ScrubRegs: true, OutcallGate: true,
+	}
+}
+
+// Harden compiles MinC source into a protected-module image. The image's
+// Entries list is ready for pma.Protect.
+func Harden(name, source string, exports []Export, opt Options) (*asm.Image, error) {
+	if opt.OutcallGate {
+		opt.Veneer = true
+	}
+	if opt.StackSize == 0 {
+		opt.StackSize = 512
+	}
+	mopt := minc.Options{
+		FnPtrGuard: opt.FnPtrGuard,
+		GuardLow:   "__module_text_start",
+		GuardHigh:  "__module_text_end",
+	}
+	if opt.Veneer {
+		mopt.ImplSuffix = "__impl"
+	}
+	if opt.OutcallGate {
+		mopt.OutcallThunk = "__pm_outcall"
+	}
+	body, err := minc.CompileToAsm(name, source, mopt)
+	if err != nil {
+		return nil, fmt.Errorf("securecomp: %w", err)
+	}
+
+	var b strings.Builder
+	b.WriteString("\t.text\n__module_text_start:\n")
+	b.WriteString(body)
+	b.WriteString("\n\t.text\n")
+	if opt.Veneer {
+		for _, e := range exports {
+			writeVeneer(&b, e, opt)
+		}
+		if opt.OutcallGate {
+			writeOutcallGate(&b, opt)
+		}
+		b.WriteString("__module_text_end:\n")
+		b.WriteString("\t.data\n\t.align 4\n")
+		b.WriteString("__pm_saved_esp:\n\t.word 0\n")
+		if opt.OutcallGate {
+			b.WriteString("__pm_saved_ret:\n\t.word 0\n")
+			b.WriteString("__pm_saved_priv:\n\t.word 0\n")
+		}
+		if opt.PrivateStack {
+			fmt.Fprintf(&b, "__pm_stack:\n\t.space %d\n__pm_stack_top:\n", opt.StackSize)
+		}
+	} else {
+		b.WriteString("__module_text_end:\n")
+	}
+
+	img, err := asm.Assemble(name, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("securecomp: assembling hardened module: %w", err)
+	}
+	if !opt.Veneer {
+		// Naive compilation: the exported functions themselves are the
+		// entry points.
+		for _, e := range exports {
+			s, ok := img.Symbols[e.Name]
+			if !ok {
+				return nil, fmt.Errorf("securecomp: export %q not defined by module", e.Name)
+			}
+			if !s.Global {
+				return nil, fmt.Errorf("securecomp: export %q is static", e.Name)
+			}
+			img.Entries = append(img.Entries, e.Name)
+		}
+	} else {
+		for _, e := range exports {
+			if _, ok := img.Symbols[e.Name+"__impl"]; !ok {
+				return nil, fmt.Errorf("securecomp: export %q not defined by module", e.Name)
+			}
+		}
+	}
+	return img, nil
+}
+
+// writeVeneer emits the entry veneer for one export.
+func writeVeneer(b *strings.Builder, e Export, opt Options) {
+	fmt.Fprintf(b, "\t.global %s\n\t.entry %s\n%s:\n", e.Name, e.Name, e.Name)
+	// Re-entrancy latch: a second entry while a session is open fails
+	// fast instead of letting an attacker corrupt the saved state.
+	fmt.Fprintf(b, "\tmov ecx, __pm_saved_esp\n")
+	fmt.Fprintf(b, "\tloadw edx, [ecx]\n")
+	fmt.Fprintf(b, "\tcmp edx, 0\n")
+	fmt.Fprintf(b, "\tjz .Lv_%s_fresh\n", e.Name)
+	fmt.Fprintf(b, "\tint 0x29\n")
+	fmt.Fprintf(b, ".Lv_%s_fresh:\n", e.Name)
+	fmt.Fprintf(b, "\tstorew [ecx], esp\n") // save caller ESP
+	fmt.Fprintf(b, "\tmov edx, esp\n")      // argument source
+	if opt.PrivateStack {
+		fmt.Fprintf(b, "\tmov ecx, __pm_stack_top\n")
+		fmt.Fprintf(b, "\tmov esp, ecx\n")
+	}
+	if e.Args > 0 {
+		fmt.Fprintf(b, "\tsub esp, %d\n", 4*e.Args)
+		for i := 0; i < e.Args; i++ {
+			fmt.Fprintf(b, "\tloadw esi, [edx+%d]\n", 4+4*i)
+			fmt.Fprintf(b, "\tstorew [esp+%d], esi\n", 4*i)
+		}
+	}
+	fmt.Fprintf(b, "\tcall %s__impl\n", e.Name)
+	fmt.Fprintf(b, "\tmov ecx, __pm_saved_esp\n")
+	fmt.Fprintf(b, "\tloadw esp, [ecx]\n")
+	fmt.Fprintf(b, "\tmov edx, 0\n")
+	fmt.Fprintf(b, "\tstorew [ecx], edx\n") // release the latch
+	if opt.ScrubRegs {
+		// Everything except the return value (EAX) and the restored
+		// ESP/EBP is cleared: no module addresses or secret-derived
+		// temporaries leak through the register file.
+		fmt.Fprintf(b, "\tmov ecx, 0\n\tmov edx, 0\n\tmov esi, 0\n\tmov edi, 0\n")
+	}
+	fmt.Fprintf(b, "\tret\n")
+}
+
+// writeOutcallGate emits the out-call thunk and its re-entry gate.
+func writeOutcallGate(b *strings.Builder, opt Options) {
+	b.WriteString("__pm_outcall:\n")
+	// Park the internal return address in protected data.
+	b.WriteString("\tmov ecx, __pm_saved_ret\n")
+	b.WriteString("\tloadw edx, [esp]\n")
+	b.WriteString("\tstorew [ecx], edx\n")
+	if opt.PrivateStack {
+		// Hop to the caller-side stack: the region below the saved
+		// entry ESP is free.
+		b.WriteString("\tadd esp, 4\n")
+		b.WriteString("\tmov ecx, __pm_saved_priv\n")
+		b.WriteString("\tstorew [ecx], esp\n")
+		b.WriteString("\tmov ecx, __pm_saved_esp\n")
+		b.WriteString("\tloadw esp, [ecx]\n")
+		b.WriteString("\tmov esi, __pm_reentry\n")
+		b.WriteString("\tpush esi\n")
+	} else {
+		// Already on the caller-side stack: just replace the internal
+		// return address with the gate.
+		b.WriteString("\tmov esi, __pm_reentry\n")
+		b.WriteString("\tstorew [esp], esi\n")
+	}
+	b.WriteString("\tjmp eax\n")
+	// The re-entry gate is the only entry point through which an
+	// out-call may return (rule 3). The parked return address doubles as
+	// a latch: a cold entry through the gate — no out-call in flight —
+	// fails fast instead of jumping to a stale target.
+	b.WriteString("\t.entry __pm_reentry\n__pm_reentry:\n")
+	b.WriteString("\tmov ecx, __pm_saved_ret\n")
+	b.WriteString("\tloadw edx, [ecx]\n")
+	b.WriteString("\tcmp edx, 0\n")
+	b.WriteString("\tjnz .Lgate_live\n")
+	b.WriteString("\tint 0x29\n")
+	b.WriteString(".Lgate_live:\n")
+	b.WriteString("\tmov esi, 0\n")
+	b.WriteString("\tstorew [ecx], esi\n") // consume the latch
+	if opt.PrivateStack {
+		b.WriteString("\tmov ecx, __pm_saved_priv\n")
+		b.WriteString("\tloadw esp, [ecx]\n") // back to the module stack
+	}
+	b.WriteString("\tjmp edx\n")
+}

@@ -1,0 +1,393 @@
+package securecomp
+
+import (
+	"testing"
+
+	"softsec/internal/asm"
+	"softsec/internal/attack"
+	"softsec/internal/cpu"
+	"softsec/internal/kernel"
+	"softsec/internal/pma"
+)
+
+// fig4Module is the paper's Figure 4 secret module (callback-based PIN
+// entry), with secret-derived locals so stack-residue leaks are visible.
+const fig4Module = `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int get_pin()) {
+	int pad1;
+	int pad2;
+	int attempt = get_pin();
+	int delta = secret - attempt;
+	if (tries_left > 0) {
+		if (delta == secret - PIN) {
+			tries_left = 3;
+			return secret;
+		} else { tries_left--; return 0; }
+	}
+	else return 0;
+}
+`
+
+// fig2Module is the direct-argument variant (no callback), used for the
+// residue and register-leak probes.
+const fig2Module = `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int provided_pin) {
+	int pad1;
+	int pad2;
+	int delta = secret - provided_pin;
+	if (tries_left > 0) {
+		if (delta == secret - PIN) {
+			tries_left = 3;
+			return secret;
+		} else { tries_left--; return 0; }
+	}
+	else return 0;
+}
+`
+
+// honestClient calls get_secret with a correct-PIN callback.
+const honestClient = `
+	.text
+	.global main
+main:
+	push ebp
+	mov ebp, esp
+	sub esp, 4
+	mov eax, good_pin
+	storew [esp], eax
+	call get_secret
+	leave
+	ret
+good_pin:
+	mov eax, 1234
+	ret
+`
+
+// wrongPinClient calls get_secret(9999) directly (fig2Module interface).
+const wrongPinClient = `
+	.text
+	.global main
+main:
+	push ebp
+	mov ebp, esp
+	sub esp, 4
+	mov eax, 9999
+	storew [esp], eax
+	call get_secret
+	leave
+	ret
+`
+
+// regDumpClient calls get_secret(9999) and stores the scratch registers to
+// data for inspection.
+const regDumpClient = `
+	.text
+	.global main
+main:
+	push ebp
+	mov ebp, esp
+	sub esp, 4
+	mov eax, 9999
+	storew [esp], eax
+	call get_secret
+	mov ebx, regdump
+	storew [ebx], ecx
+	storew [ebx+4], edx
+	storew [ebx+8], esi
+	storew [ebx+12], edi
+	leave
+	ret
+	.data
+	.global regdump
+regdump:
+	.space 16
+`
+
+func buildProtected(t *testing.T, moduleSrc string, opt Options, clientSrc string) (*kernel.Process, *pma.Policy) {
+	t.Helper()
+	mod, err := Harden("secretmod", moduleSrc, []Export{{Name: "get_secret", Args: 1}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := asm.MustAssemble("client", clientSrc)
+	ld, err := kernel.Link(kernel.Libc(), mod, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := pma.Protect(p, "secretmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, pol
+}
+
+func TestHonestCallbackNaiveBreaksUnderPMA(t *testing.T) {
+	// Naive compilation: the callback's RET re-enters the module in the
+	// middle of get_secret — rule 3 refuses it. Naive compilation is not
+	// just insecure, it is *incorrect* on a PMA.
+	p, _ := buildProtected(t, fig4Module, Naive(), honestClient)
+	st := p.Run()
+	if st != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultPolicy {
+		t.Fatalf("state %v fault %v, want PMA violation on callback return",
+			st, p.CPU.Fault())
+	}
+}
+
+func TestHonestCallbackWorksFullyHardened(t *testing.T) {
+	// The out-call gate makes the legitimate Figure 4 flow work under
+	// the PMA: callback leaves through the thunk, returns through the
+	// re-entry gate, and the right PIN yields the secret.
+	p, _ := buildProtected(t, fig4Module, Full(), honestClient)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if p.CPU.ExitCode() != 666 {
+		t.Fatalf("exit %d, want the secret", p.CPU.ExitCode())
+	}
+}
+
+// exploitRun links the Figure 4 pointer-into-module exploit against the
+// module hardened with opt and runs it.
+func exploitRun(t *testing.T, opt Options) *kernel.Process {
+	t.Helper()
+	probe, _ := buildProtected(t, fig4Module, opt, `
+	.text
+	.global main
+main:
+	ret
+`)
+	b, ok := probe.Module("secretmod")
+	if !ok {
+		t.Fatal("module missing")
+	}
+	text, _ := probe.Mem.PeekRaw(b.TextStart, int(b.TextEnd-b.TextStart))
+	resetAddr, ok := attack.FindTriesResetAddr(text, b.TextStart)
+	if !ok {
+		t.Fatal("tries-reset sequence not found")
+	}
+
+	mod, err := Harden("secretmod", fig4Module, []Export{{Name: "get_secret", Args: 1}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), mod, attack.Fig4ClientModule(resetAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pma.Protect(p, "secretmod"); err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+	return p
+}
+
+// TestFig4ExploitNaive: the PMA alone does NOT stop the paper's Figure 4
+// attack — the poisoned call happens module-internally. Secure compilation
+// is needed, which is exactly Section IV-B's thesis.
+func TestFig4ExploitNaive(t *testing.T) {
+	p := exploitRun(t, Naive())
+	if p.CPU.StateOf() != cpu.Exited || p.CPU.ExitCode() != 666 {
+		t.Fatalf("state %v exit %d fault %v — exploit should succeed against naive compilation",
+			p.CPU.StateOf(), p.CPU.ExitCode(), p.CPU.Fault())
+	}
+	tries, _ := p.SymbolAddr("secretmod.tries_left")
+	if got := p.Mem.PeekWord(tries); got != 3 {
+		t.Fatalf("tries_left %d, want reset to 3", got)
+	}
+}
+
+func TestFig4ExploitBlockedByGuardAlone(t *testing.T) {
+	p := exploitRun(t, Options{FnPtrGuard: true})
+	if p.CPU.StateOf() != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("state %v fault %v, want fail-fast", p.CPU.StateOf(), p.CPU.Fault())
+	}
+}
+
+func TestFig4ExploitBlockedFullyHardened(t *testing.T) {
+	p := exploitRun(t, Full())
+	if p.CPU.StateOf() != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("state %v fault %v, want fail-fast", p.CPU.StateOf(), p.CPU.Fault())
+	}
+}
+
+// residueValue is what get_secret leaves on the stack for a 9999 attempt:
+// delta = secret - attempt = 666 - 9999.
+func residueValue() uint32 {
+	d := int32(666 - 9999)
+	return uint32(d)
+}
+
+func scanRegion(p *kernel.Process, lo, hi uint32, want uint32) bool {
+	data, _ := p.Mem.PeekRaw(lo, int(hi-lo))
+	for i := 0; i+4 <= len(data); i++ {
+		v := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStackResidueLeak(t *testing.T) {
+	// Naive: after the call, the secret-derived delta remains readable
+	// on the shared stack.
+	p, _ := buildProtected(t, fig2Module, Naive(), wrongPinClient)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	lo := p.Layout.StackLow
+	hi := p.Layout.StackLow + kernel.StackSize
+	if !scanRegion(p, lo, hi, residueValue()) {
+		t.Fatal("expected residue on the shared stack for the naive module")
+	}
+
+	// Private stack: the residue lives in protected data, not on the
+	// shared stack.
+	p2, pol := buildProtected(t, fig2Module, Full(), wrongPinClient)
+	if st := p2.Run(); st != cpu.Exited {
+		t.Fatalf("hardened state %v fault %v", st, p2.CPU.Fault())
+	}
+	if scanRegion(p2, p2.Layout.StackLow, p2.Layout.StackLow+kernel.StackSize, residueValue()) {
+		t.Fatal("secret-derived residue leaked to the shared stack despite the private stack")
+	}
+	// And it is indeed inside the protected module data (where only the
+	// module — and our debugger's eye — can see it).
+	m := pol.Modules()[0]
+	if !scanRegion(p2, m.DataStart, m.DataEnd, residueValue()) {
+		t.Fatal("residue not found in module-private stack either (codegen changed?)")
+	}
+}
+
+func TestRegisterScrubbing(t *testing.T) {
+	// Naive: after a wrong-PIN call, a scratch register holds the
+	// address of tries_left — module layout intelligence for free.
+	p, pol := buildProtected(t, fig2Module, Naive(), regDumpClient)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	m := pol.Modules()[0]
+	dump, _ := p.SymbolAddr("regdump")
+	leaked := false
+	for i := uint32(0); i < 4; i++ {
+		v := p.Mem.PeekWord(dump + 4*i)
+		if v >= m.DataStart && v < m.DataEnd {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Fatal("expected a module-data address in scratch registers for naive module")
+	}
+
+	p2, _ := buildProtected(t, fig2Module, Full(), regDumpClient)
+	if st := p2.Run(); st != cpu.Exited {
+		t.Fatalf("hardened state %v fault %v", st, p2.CPU.Fault())
+	}
+	dump2, _ := p2.SymbolAddr("regdump")
+	for i := uint32(0); i < 4; i++ {
+		if v := p2.Mem.PeekWord(dump2 + 4*i); v != 0 {
+			t.Fatalf("scratch register %d not scrubbed: 0x%08x", i, v)
+		}
+	}
+}
+
+func TestReentrancyLatch(t *testing.T) {
+	// A client that re-enters get_secret from within the callback trips
+	// the latch (fail-fast) instead of corrupting the saved session.
+	reentrant := `
+	.text
+	.global main
+main:
+	push ebp
+	mov ebp, esp
+	sub esp, 4
+	mov eax, evil_pin
+	storew [esp], eax
+	call get_secret
+	leave
+	ret
+evil_pin:
+	push ebp
+	mov ebp, esp
+	sub esp, 4
+	mov eax, evil_pin2
+	storew [esp], eax
+	call get_secret      ; nested entry while a session is open
+	leave
+	ret
+evil_pin2:
+	mov eax, 1234
+	ret
+`
+	p, _ := buildProtected(t, fig4Module, Full(), reentrant)
+	st := p.Run()
+	if st != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("state %v fault %v, want latch fail-fast", st, p.CPU.Fault())
+	}
+}
+
+func TestColdEntryThroughGateFailsFast(t *testing.T) {
+	cold := `
+	.text
+	.global main
+main:
+	call __pm_reentry    ; no out-call in flight
+	ret
+`
+	p, _ := buildProtected(t, fig4Module, Full(), cold)
+	st := p.Run()
+	if st != cpu.Faulted || p.CPU.Fault().Kind != cpu.FaultFailFast {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+}
+
+func TestHardenValidation(t *testing.T) {
+	if _, err := Harden("m", `int f() { return 1; }`,
+		[]Export{{Name: "nope", Args: 0}}, Full()); err == nil {
+		t.Error("unknown export accepted")
+	}
+	if _, err := Harden("m", `static int f() { return 1; }`,
+		[]Export{{Name: "f", Args: 0}}, Naive()); err == nil {
+		t.Error("static export accepted in naive mode")
+	}
+	if _, err := Harden("m", `int f( { return 1; }`,
+		[]Export{{Name: "f", Args: 0}}, Full()); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestHardenedModuleWorksWithoutPMA(t *testing.T) {
+	// The hardened module is a normal module too: without a PMA policy
+	// installed everything still works.
+	mod, err := Harden("secretmod", fig4Module, []Export{{Name: "get_secret", Args: 1}}, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := asm.MustAssemble("client", honestClient)
+	ld, err := kernel.Link(kernel.Libc(), mod, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Run(); st != cpu.Exited || p.CPU.ExitCode() != 666 {
+		t.Fatalf("state %v exit %d fault %v", st, p.CPU.ExitCode(), p.CPU.Fault())
+	}
+}

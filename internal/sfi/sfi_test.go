@@ -1,0 +1,276 @@
+package sfi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"softsec/internal/asm"
+	"softsec/internal/cpu"
+	"softsec/internal/kernel"
+	"softsec/internal/mem"
+	"softsec/internal/minc"
+)
+
+// scraperSource is an untrusted plugin that tries to scan host memory for
+// the PIN (1234) — written in the compliant toolchain's input dialect (no
+// ret/call/push; terminates via exit syscall).
+const scraperSource = `
+	.text
+	.global main
+main:
+	mov esi, 0x08100000   ; host data segment
+	mov ebx, 0x08101000
+scan:
+	cmp esi, ebx
+	jae done
+	loadw eax, [esi]
+	cmp eax, 1234
+	jz hit
+	add esi, 1
+	jmp scan
+hit:
+	mov ebx, 99           ; exit(99): found it
+	mov eax, 1
+	int 0x80
+done:
+	mov ebx, 0
+	mov eax, 1
+	int 0x80
+`
+
+const sandboxBase = uint32(0x00400000)
+const sandboxSize = uint32(0x1000)
+
+func sb() Sandbox { return Sandbox{Base: sandboxBase, Size: sandboxSize} }
+
+func TestSandboxValidation(t *testing.T) {
+	if (Sandbox{Base: 0x1000, Size: 0x1000}).Valid() == false {
+		t.Error("aligned sandbox rejected")
+	}
+	if (Sandbox{Base: 0x1000, Size: 0x1001}).Valid() {
+		t.Error("non-power-of-two size accepted")
+	}
+	if (Sandbox{Base: 0x1800, Size: 0x1000}).Valid() {
+		t.Error("misaligned base accepted")
+	}
+	if (Sandbox{}).Valid() {
+		t.Error("zero sandbox accepted")
+	}
+}
+
+func TestRewriteMasksAllAccesses(t *testing.T) {
+	out, err := Rewrite(scraperSource, sb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "and edi, 0xfff") {
+		t.Fatalf("mask missing:\n%s", out)
+	}
+	if !strings.Contains(out, "or edi, 0x400000") {
+		t.Fatalf("base OR missing:\n%s", out)
+	}
+	img, err := asm.Assemble("plugin", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(img, sb()); err != nil {
+		t.Fatalf("rewritten module fails verification: %v", err)
+	}
+}
+
+func TestRewriteRejections(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"ret", "main:\n\tret\n", "not allowed"},
+		{"indirect call", "\tcall eax\n", "not allowed"},
+		{"direct call", "\tcall helper\nhelper:\n\tnop\n", "not allowed"},
+		{"indirect jmp", "\tjmp ecx\n", "indirect"},
+		{"push", "\tpush eax\n", "stack"},
+		{"pop", "\tpop eax\n", "stack"},
+		{"edi use", "\tmov edi, 4\n", "reserved"},
+		{"edi mem", "\tloadw eax, [edi]\n", "reserved"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Rewrite(tc.src, sb())
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %v, want %q", err, tc.wantSub)
+			}
+		})
+	}
+	if _, err := Rewrite("\tnop\n", Sandbox{Base: 1, Size: 3}); err == nil {
+		t.Error("invalid sandbox accepted")
+	}
+}
+
+func TestVerifyRejectsHandWrittenEscapes(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"raw store", `
+main:
+	mov eax, 0x08100000
+	storew [eax], ebx
+`, "masked edi"},
+		{"unmasked edi", `
+main:
+	mov edi, 0x08100000
+	storew [edi], ebx
+`, "missing mask"},
+		{"wrong mask", `
+main:
+	mov edi, 0x08100000
+	and edi, 0xffffff
+	or edi, 0x400000
+	storew [edi], ebx
+`, "missing mask"},
+		{"ret", `
+main:
+	ret
+`, "forbidden"},
+		{"esp takeover", `
+main:
+	mov esp, eax
+`, "takeover"},
+		{"indirect jump", `
+main:
+	jmp eax
+`, "forbidden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img, err := asm.Assemble("evil", tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = Verify(img, sb())
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("verify error %v, want %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// hostWithPlugin builds a process holding the pinvault's static data (the
+// host's secrets) and runs the plugin as its untrusted main module.
+func hostWithPlugin(t *testing.T, pluginSrc string, rewrite bool) *kernel.Process {
+	t.Helper()
+	secretMod, err := minc.Compile("secretmod", `
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+int get_secret(int p) { if (PIN == p) return secret; tries_left--; return 0; }
+`, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := pluginSrc
+	if rewrite {
+		src, err = Rewrite(pluginSrc, sb())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	plugin, err := asm.Assemble("plugin", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewrite {
+		if err := Verify(plugin, sb()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ld, err := kernel.Link(kernel.Libc(), secretMod, plugin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map the sandbox region plus the guard page word-sized accesses at
+	// the sandbox top spill into (NaCl-style guard zone).
+	if err := p.Mem.Map(sandboxBase, sandboxSize+mem.PageSize, mem.RW); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestScraperPluginReadsHostWithoutSFI is the baseline: run the plugin
+// unrewritten and it finds the PIN in host data.
+func TestScraperPluginReadsHostWithoutSFI(t *testing.T) {
+	p := hostWithPlugin(t, scraperSource, false)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if p.CPU.ExitCode() != 99 {
+		t.Fatalf("exit %d, want 99 (PIN found)", p.CPU.ExitCode())
+	}
+}
+
+// TestScraperPluginConfinedBySFI: after rewriting, every load the plugin
+// performs is redirected into its sandbox — the host's PIN is unreachable.
+func TestScraperPluginConfinedBySFI(t *testing.T) {
+	p := hostWithPlugin(t, scraperSource, true)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if p.CPU.ExitCode() != 0 {
+		t.Fatalf("exit %d, want 0 (nothing found in sandbox)", p.CPU.ExitCode())
+	}
+}
+
+// TestSFIWriteConfinement: a plugin trying to overwrite host data writes
+// into its own sandbox instead.
+func TestSFIWriteConfinement(t *testing.T) {
+	vandal := `
+	.text
+	.global main
+main:
+	mov esi, 0x08100000   ; host data
+	mov eax, 0xdead
+	storew [esi], eax
+	mov ebx, 0
+	mov eax, 1
+	int 0x80
+`
+	p := hostWithPlugin(t, vandal, true)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	// Host data intact...
+	host, _ := p.Mem.PeekRaw(0x08100000, 4)
+	if le32(host) == 0xdead {
+		t.Fatal("host data corrupted despite SFI")
+	}
+	// ...the write landed inside the sandbox (0x08100000 & 0xFFF = 0).
+	sbData, _ := p.Mem.PeekRaw(sandboxBase, 4)
+	if le32(sbData) != 0xdead {
+		t.Fatalf("write did not land in sandbox: % x", sbData)
+	}
+}
+
+// TestAsymmetry documents the paper's caveat: SFI protects the host from
+// the module, but the module's data (its sandbox) is an open book to the
+// host and to the kernel.
+func TestAsymmetry(t *testing.T) {
+	p := hostWithPlugin(t, scraperSource, true)
+	p.Run()
+	// The "kernel" (or host) can trivially read the whole sandbox.
+	if _, ok := p.Mem.PeekRaw(sandboxBase, int(sandboxSize)); !ok {
+		t.Fatal("sandbox should be readable by host/kernel")
+	}
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func TestRewriteIdempotentOnCleanCode(t *testing.T) {
+	src := "\tmov eax, 1\n\tadd eax, 2\n"
+	out, err := Rewrite(src, sb())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(out), []byte("mov eax, 1")) {
+		t.Fatalf("clean code altered:\n%s", out)
+	}
+}
