@@ -15,6 +15,7 @@ import (
 	"softsec/internal/cpu"
 	"softsec/internal/figures"
 	"softsec/internal/kernel"
+	"softsec/internal/mem"
 	"softsec/internal/minc"
 	"softsec/internal/pma"
 	"softsec/internal/securecomp"
@@ -148,7 +149,7 @@ func runSFIKernel(b *testing.B, masked bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := p.Mem.Map(0x00400000, 0x2000, 3); err != nil {
+		if err := p.Mem.Map(0x00400000, 0x2000, mem.RW); err != nil {
 			b.Fatal(err)
 		}
 		if st := p.Run(); st != cpu.Exited {
@@ -424,6 +425,57 @@ func BenchmarkInterpreterSpeed(b *testing.B) {
 		p.Run()
 	}
 	b.ReportMetric(float64(total), "sim-instrs/op")
+}
+
+// benchLoopCPU builds a bare machine spinning in a two-instruction loop —
+// the purest view of per-step interpreter cost, no kernel or compiler in
+// the timing.
+func benchLoopCPU(b *testing.B) *cpu.CPU {
+	b.Helper()
+	img := asm.MustAssemble("loop", `
+	.text
+loop:
+	add esi, 1
+	jmp loop
+`)
+	m := mem.New()
+	if err := m.Map(0x1000, mem.PageSize, mem.RX); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadRaw(0x1000, img.Text); err != nil {
+		b.Fatal(err)
+	}
+	c := cpu.New(m)
+	c.IP = 0x1000
+	return c
+}
+
+// BenchmarkDecodeCacheHit measures the steady-state per-instruction cost
+// when every fetch hits the decoded-instruction cache.
+func BenchmarkDecodeCacheHit(b *testing.B) {
+	c := benchLoopCPU(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if st := c.Run(uint64(b.N)); st != cpu.StepLimit {
+		b.Fatalf("state %v fault %v", st, c.Fault())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkDecodeCacheMiss forces a full cache invalidation before every
+// step (a PokeWord bumps the memory's code generation), so each fetch
+// pays the byte-fetch + decode slow path.
+func BenchmarkDecodeCacheMiss(b *testing.B) {
+	c := benchLoopCPU(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Mem.PokeWord(0x1800, uint32(i)) // on the X page: invalidates
+		if !c.Step() {
+			b.Fatalf("fault %v", c.Fault())
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
 // --- T4 ablation: the cost of each secure-compilation hardening step -----

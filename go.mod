@@ -1,0 +1,3 @@
+module softsec
+
+go 1.24

@@ -225,6 +225,12 @@ func (m *Machine) capOf(r int) (Cap, *Trap) {
 
 // Step executes one instruction; it returns false when the machine halted
 // or trapped (err non-nil on trap).
+//
+// Every internal PCC installation point already guarantees PermX (New
+// grants it, CInvoke and CRet trap without it), but PCC is an exported
+// field and Step is the machine's safety boundary, so the execute check
+// stays per-step — unlike the SM32 CPU's policy binding, there is no
+// controlled bind point through which an external assignment must pass.
 func (m *Machine) Step() (bool, error) {
 	pc := m.PCC.Cursor
 	if pc >= uint32(len(m.Prog)) || m.PCC.Perms&PermX == 0 {

@@ -136,6 +136,13 @@ func (f *Fault) Unwrap() error { return f.Err }
 // CPU converts into a FaultPolicy. internal/pma provides the Protected
 // Module Architecture policy; a nil Policy allows everything, which is the
 // "classic" machine of Section III.
+//
+// The CPU binds a policy's checkers to function values once, when it first
+// notices the Policy field changed (at Step/Run/Push/Pop entry), rather
+// than testing Policy != nil on every access — so the nil-policy machine
+// pays nothing on its access path, and the dynamic type of a Policy must
+// be comparable (use a pointer type). A policy may additionally implement
+// CheckCompiler to hand the CPU specialized checkers.
 type Policy interface {
 	// CheckRead authorizes a data read of size bytes at addr by the
 	// instruction at ip.
@@ -149,10 +156,42 @@ type Policy interface {
 	CheckExec(from, to uint32) error
 }
 
+// CheckCompiler is an optional interface a Policy may implement to supply
+// the CPU with specialized access checkers, compiled once at bind time
+// (Run/Step entry after the Policy field changes). Any returned function
+// may be nil, meaning "always allow" — the CPU then skips that class of
+// check entirely, exactly as it does with no policy installed. This is the
+// hook internal/pma uses to collapse its per-byte module-range loops into
+// straight range compares for the common single-module configuration.
+type CheckCompiler interface {
+	CompileChecks() (read, write func(ip, addr uint32, size int) error,
+		exec func(from, to uint32) error)
+}
+
 // TrapHandler services INT instructions (syscalls). The kernel installs
 // one; vector is the INT operand. Returning an error faults the CPU.
 type TrapHandler interface {
 	Trap(c *CPU, vector uint8) error
+}
+
+// Decoded-instruction cache geometry: direct-mapped, indexed by the low
+// bits of the instruction address.
+const (
+	dcacheBits = 12
+	dcacheSize = 1 << dcacheBits
+)
+
+// dcEntry is one decode-cache slot. An entry is valid for address a iff
+// tag == a, gen equals the memory's current code generation, and in.Size
+// is non-zero (zero Size marks a never-filled slot, since no real
+// instruction decodes to zero bytes). Any event that could change code —
+// mapping changes, raw pokes, writes to executable pages — bumps the
+// memory generation and thereby invalidates every entry at once without a
+// flush loop.
+type dcEntry struct {
+	tag uint32
+	gen uint64
+	in  isa.Instr
 }
 
 // CPU is one SM32 hardware thread. Create with New; the zero value is not
@@ -186,6 +225,42 @@ type CPU struct {
 	exitCode  int32
 	fault     *Fault
 	skipBreak bool
+
+	// dcache is the decoded-instruction cache, allocated on first fetch.
+	dcache []dcEntry
+
+	// Compiled access checkers: bound from Policy by bindPolicy. nil
+	// means "always allow". bound remembers which Policy value the
+	// checkers were compiled from, so installing or swapping a policy
+	// between steps takes effect on the next instruction.
+	chkRead  func(ip, addr uint32, size int) error
+	chkWrite func(ip, addr uint32, size int) error
+	chkExec  func(from, to uint32) error
+	bound    Policy
+}
+
+// ensureBound recompiles the access checkers if the Policy field changed
+// since they were last bound. It is called at the CPU's public entry
+// points (Step, Run, Push, Pop) — never on the per-access path.
+func (c *CPU) ensureBound() {
+	if c.Policy != c.bound {
+		c.bindPolicy()
+	}
+}
+
+func (c *CPU) bindPolicy() {
+	c.bound = c.Policy
+	if c.Policy == nil {
+		c.chkRead, c.chkWrite, c.chkExec = nil, nil, nil
+		return
+	}
+	if cc, ok := c.Policy.(CheckCompiler); ok {
+		c.chkRead, c.chkWrite, c.chkExec = cc.CompileChecks()
+		return
+	}
+	c.chkRead = c.Policy.CheckRead
+	c.chkWrite = c.Policy.CheckWrite
+	c.chkExec = c.Policy.CheckExec
 }
 
 // New returns a CPU attached to m, in the Running state with zeroed
@@ -241,8 +316,8 @@ func (c *CPU) setFault(kind FaultKind, ip uint32, err error) {
 }
 
 func (c *CPU) readMem(addr uint32, size int) (uint32, bool) {
-	if c.Policy != nil {
-		if err := c.Policy.CheckRead(c.IP, addr, size); err != nil {
+	if c.chkRead != nil {
+		if err := c.chkRead(c.IP, addr, size); err != nil {
 			c.setFault(FaultPolicy, c.IP, err)
 			return 0, false
 		}
@@ -264,8 +339,8 @@ func (c *CPU) readMem(addr uint32, size int) (uint32, bool) {
 }
 
 func (c *CPU) writeMem(addr uint32, v uint32, size int) bool {
-	if c.Policy != nil {
-		if err := c.Policy.CheckWrite(c.IP, addr, size); err != nil {
+	if c.chkWrite != nil {
+		if err := c.chkWrite(c.IP, addr, size); err != nil {
 			c.setFault(FaultPolicy, c.IP, err)
 			return false
 		}
@@ -286,12 +361,14 @@ func (c *CPU) writeMem(addr uint32, v uint32, size int) bool {
 // Push pushes v on the stack (ESP -= 4, then store). Exported for trap
 // handlers and loaders that set up initial frames.
 func (c *CPU) Push(v uint32) bool {
+	c.ensureBound()
 	c.Reg[isa.ESP] -= 4
 	return c.writeMem(c.Reg[isa.ESP], v, 4)
 }
 
 // Pop pops the top of stack into v.
 func (c *CPU) Pop() (uint32, bool) {
+	c.ensureBound()
 	v, ok := c.readMem(c.Reg[isa.ESP], 4)
 	if !ok {
 		return 0, false
@@ -300,8 +377,30 @@ func (c *CPU) Pop() (uint32, bool) {
 	return v, true
 }
 
-// fetch reads and decodes the instruction at IP.
+// fetch returns the decoded instruction at IP, consulting the decode
+// cache. A hit requires the entry's generation to match the memory's
+// current code generation, so any write that could have changed code
+// since the fill forces a fresh fetch — the cache can never serve stale
+// bytes to self-modifying code, code injection, or post-Protect fetches.
 func (c *CPU) fetch() (isa.Instr, bool) {
+	if c.dcache == nil {
+		c.dcache = make([]dcEntry, dcacheSize)
+	}
+	gen := c.Mem.CodeGen()
+	e := &c.dcache[c.IP&(dcacheSize-1)]
+	if e.tag == c.IP && e.gen == gen && e.in.Size != 0 {
+		return e.in, true
+	}
+	in, ok := c.fetchSlow()
+	if ok {
+		*e = dcEntry{tag: c.IP, gen: gen, in: in}
+	}
+	return in, ok
+}
+
+// fetchSlow reads and decodes the instruction at IP from memory, with a
+// per-byte X permission check.
+func (c *CPU) fetchSlow() (isa.Instr, bool) {
 	b0, err := c.Mem.Fetch8(c.IP)
 	if err != nil {
 		c.setFault(FaultMemory, c.IP, err)
@@ -312,7 +411,7 @@ func (c *CPU) fetch() (isa.Instr, bool) {
 		c.setFault(FaultDecode, c.IP, &isa.DecodeErr{Addr: c.IP, Opcode: b0})
 		return isa.Instr{}, false
 	}
-	buf := make([]byte, n)
+	var buf [6]byte
 	buf[0] = b0
 	for i := 1; i < n; i++ {
 		bi, err := c.Mem.Fetch8(c.IP + uint32(i))
@@ -322,7 +421,7 @@ func (c *CPU) fetch() (isa.Instr, bool) {
 		}
 		buf[i] = bi
 	}
-	in, err := isa.Decode(buf, c.IP)
+	in, err := isa.Decode(buf[:n], c.IP)
 	if err != nil {
 		c.setFault(FaultDecode, c.IP, err)
 		return isa.Instr{}, false
@@ -356,8 +455,8 @@ func (c *CPU) setLogic(r uint32) {
 
 // transfer moves the instruction pointer to target, consulting the policy.
 func (c *CPU) transfer(from, to uint32) bool {
-	if c.Policy != nil {
-		if err := c.Policy.CheckExec(from, to); err != nil {
+	if c.chkExec != nil {
+		if err := c.chkExec(from, to); err != nil {
 			c.setFault(FaultPolicy, from, err)
 			return false
 		}
@@ -372,11 +471,12 @@ func (c *CPU) Step() bool {
 	if c.state != Running {
 		return false
 	}
-	if !c.skipBreak && c.breaks[c.IP] {
+	if len(c.breaks) != 0 && !c.skipBreak && c.breaks[c.IP] {
 		c.state = Paused
 		return false
 	}
 	c.skipBreak = false
+	c.ensureBound()
 
 	in, ok := c.fetch()
 	if !ok {
@@ -641,8 +741,11 @@ func (c *CPU) cond(op isa.Op) bool {
 }
 
 // Run executes until the CPU leaves the Running state or maxSteps
-// instructions retire, and returns the final state.
+// instructions retire, and returns the final state. The policy checkers
+// are (re)bound once at entry; Step rebinds only if the Policy field
+// changes mid-run (e.g. a trap handler installing a PMA).
 func (c *CPU) Run(maxSteps uint64) State {
+	c.ensureBound()
 	budget := c.Steps + maxSteps
 	for c.state == Running {
 		if c.Steps >= budget {

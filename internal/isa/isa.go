@@ -226,6 +226,15 @@ var opcodeTable = map[byte]opInfo{
 var opToByte [numOps]byte
 var opToFormat [numOps]Format
 
+// Decode-side lookup tables, indexed directly by the first instruction
+// byte. They replace per-instruction map lookups on the CPU's
+// fetch-decode hot path: opcodeLUT carries the operation and format for
+// table-encoded opcodes, lenLUT the total encoded length of every byte
+// including the packed-register ranges (0 marks an invalid opcode — no
+// real instruction encodes to zero bytes).
+var opcodeLUT [256]opInfo
+var lenLUT [256]uint8
+
 func init() {
 	for b, info := range opcodeTable {
 		opToByte[info.op] = b
@@ -234,6 +243,20 @@ func init() {
 	opToFormat[PUSH] = FPacked
 	opToFormat[POP] = FPacked
 	opToFormat[MOVI] = FPacked
+
+	for b, info := range opcodeTable {
+		opcodeLUT[b] = info
+		lenLUT[b] = uint8(EncodedSize(info.op))
+	}
+	// Packed ranges carry the register in the opcode byte; Decode
+	// resolves them before consulting opcodeLUT, so only their lengths
+	// are tabled here.
+	for b := 0x50; b <= 0x5F; b++ {
+		lenLUT[b] = 1 // PUSH r / POP r
+	}
+	for b := 0xB8; b <= 0xBF; b++ {
+		lenLUT[b] = 5 // MOVI r, imm32
+	}
 }
 
 // FormatOf returns the encoding format of op.
@@ -367,10 +390,10 @@ func Decode(b []byte, addr uint32) (Instr, error) {
 		}
 		return Instr{Op: MOVI, Rd: Reg(op0 - 0xB8), Imm: get32(b[1:]), Size: 5}, nil
 	}
-	info, ok := opcodeTable[op0]
-	if !ok {
+	if lenLUT[op0] == 0 {
 		return Instr{}, &DecodeErr{Addr: addr, Opcode: op0}
 	}
+	info := opcodeLUT[op0]
 	in := Instr{Op: info.op}
 	switch info.format {
 	case FNone:
@@ -419,17 +442,8 @@ func Decode(b []byte, addr uint32) (Instr, error) {
 // first byte is b, and whether b is a valid opcode. The CPU uses it to know
 // how many bytes to fetch before decoding.
 func LenFromOpcode(b byte) (int, bool) {
-	switch {
-	case b >= 0x50 && b <= 0x5F:
-		return 1, true
-	case b >= 0xB8 && b <= 0xBF:
-		return 5, true
-	}
-	info, ok := opcodeTable[b]
-	if !ok {
-		return 0, false
-	}
-	return EncodedSize(info.op), true
+	n := lenLUT[b]
+	return int(n), n != 0
 }
 
 // IsControlFlow reports whether op redirects the instruction pointer.

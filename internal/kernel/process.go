@@ -216,8 +216,8 @@ func Load(ld *Linked, cfg Config) (*Process, error) {
 	textPerm, dataPerm := mem.RX, mem.RW
 	if !cfg.DEP {
 		// Historical layout: everything readable, writable, executable.
-		textPerm = mem.R | mem.W | mem.X
-		dataPerm = mem.R | mem.W | mem.X
+		textPerm = mem.RWX
+		dataPerm = mem.RWX
 	}
 	if err := m.Map(layout.Text, pageCeil(uint32(len(ld.Text))+1), textPerm); err != nil {
 		return nil, fmt.Errorf("kernel: map text: %w", err)
@@ -229,6 +229,9 @@ func Load(ld *Linked, cfg Config) (*Process, error) {
 	if err := m.Map(layout.StackLow, StackSize, dataPerm); err != nil {
 		return nil, fmt.Errorf("kernel: map stack: %w", err)
 	}
+	// Loader writes go through the raw paths, which bump the memory's code
+	// generation — any CPU decode cache over this address space starts (or
+	// restarts) cold, so the freshly loaded text is what executes.
 	if err := m.LoadRaw(layout.Text, ld.Text); err != nil {
 		return nil, err
 	}
@@ -320,7 +323,7 @@ func (p *Process) Sbrk(n uint32) (uint32, error) {
 	if newCeil > oldCeil {
 		perm := mem.RW
 		if !p.Config.DEP {
-			perm = mem.R | mem.W | mem.X
+			perm = mem.RWX
 		}
 		if err := p.Mem.Map(oldCeil, newCeil-oldCeil, perm); err != nil {
 			return 0, err

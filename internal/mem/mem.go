@@ -6,12 +6,17 @@
 // policies (the Protected Module Architecture rules of the paper's Section
 // IV) are enforced by the CPU, which knows the current instruction pointer;
 // see internal/cpu.
+//
+// Storage is a two-level page table (1024 second-level tables of 1024
+// pages each, covering the 2^20 page numbers of the 32-bit space) plus a
+// one-entry translation cache remembering the last page hit, so the
+// sequential and loop-heavy access patterns of the interpreter resolve
+// without walking the table. A generation counter (CodeGen) increments on
+// every event that could change the bytes or executability of mapped code;
+// the CPU's decoded-instruction cache subscribes to it for invalidation.
 package mem
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // PageSize is the granularity of mapping and protection, 4 KiB as on the
 // platforms the paper discusses.
@@ -19,6 +24,14 @@ const PageSize = 4096
 
 // PageMask extracts the page-offset bits of an address.
 const PageMask = PageSize - 1
+
+const (
+	pageShift = 12 // log2(PageSize)
+	l2Bits    = 10 // page-number bits resolved by a second-level table
+	l2Size    = 1 << l2Bits
+	l2Mask    = l2Size - 1
+	l1Size    = 1 << (32 - pageShift - l2Bits)
+)
 
 // Perm is a page-permission bit set.
 type Perm uint8
@@ -32,10 +45,12 @@ const (
 )
 
 // RW and RX are the two permission combinations a DEP-respecting loader
-// uses for data and code segments respectively.
+// uses for data and code segments respectively; RWX is the historical
+// everything-goes layout that code injection exploits.
 const (
-	RW = R | W
-	RX = R | X
+	RW  = R | W
+	RX  = R | X
+	RWX = R | W | X
 )
 
 func (p Perm) String() string {
@@ -93,21 +108,74 @@ type page struct {
 	perm Perm
 }
 
+type l2table [l2Size]*page
+
 // Memory is a sparse paged 32-bit address space. The zero value is an
 // empty address space ready to use.
 type Memory struct {
-	pages map[uint32]*page // keyed by addr >> 12
+	l1     [l1Size]*l2table
+	npages int
+
+	// gen is the code generation counter; see CodeGen.
+	gen uint64
+
+	// One-entry translation cache: the page of the last successful
+	// lookup. lastPage == nil means the entry is invalid.
+	lastPN   uint32
+	lastPage *page
 }
 
 // New returns an empty address space.
-func New() *Memory { return &Memory{pages: make(map[uint32]*page)} }
+func New() *Memory { return &Memory{} }
 
+// page translates addr to its page, consulting the translation cache
+// first. It returns nil for unmapped addresses.
 func (m *Memory) page(addr uint32) *page {
-	if m.pages == nil {
+	pn := addr >> pageShift
+	if pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage
+	}
+	return m.pageSlow(pn)
+}
+
+func (m *Memory) pageSlow(pn uint32) *page {
+	t := m.l1[pn>>l2Bits]
+	if t == nil {
 		return nil
 	}
-	return m.pages[addr/PageSize]
+	p := t[pn&l2Mask]
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
+	}
+	return p
 }
+
+// pageAt looks up page number pn without touching the translation cache.
+func (m *Memory) pageAt(pn uint32) *page {
+	t := m.l1[pn>>l2Bits]
+	if t == nil {
+		return nil
+	}
+	return t[pn&l2Mask]
+}
+
+func (m *Memory) setPage(pn uint32, p *page) {
+	t := m.l1[pn>>l2Bits]
+	if t == nil {
+		t = new(l2table)
+		m.l1[pn>>l2Bits] = t
+	}
+	t[pn&l2Mask] = p
+}
+
+// CodeGen returns the current code generation. It increments on every
+// event that could change the bytes or the executability of mapped code:
+// Map, Unmap and Protect, raw writes (LoadRaw, PokeWord), and permission-
+// checked writes that land on an executable page. The CPU's decoded-
+// instruction cache treats any change as a full invalidation, so a cached
+// decode is valid exactly while the generation it was filled under is
+// still current.
+func (m *Memory) CodeGen() uint64 { return m.gen }
 
 // Map maps [addr, addr+size) with the given permissions. addr and size must
 // be page-aligned and the range must not overlap an existing mapping.
@@ -121,20 +189,19 @@ func (m *Memory) Map(addr, size uint32, perm Perm) error {
 	if addr+size < addr && addr+size != 0 {
 		return fmt.Errorf("mem: Map(0x%08x, 0x%x): wraps address space", addr, size)
 	}
-	if m.pages == nil {
-		m.pages = make(map[uint32]*page)
-	}
 	first := addr / PageSize
 	n := size / PageSize
 	for i := uint32(0); i < n; i++ {
-		if _, ok := m.pages[first+i]; ok {
+		if m.pageAt(first+i) != nil {
 			return fmt.Errorf("mem: Map(0x%08x, 0x%x): overlaps existing page at 0x%08x",
 				addr, size, (first+i)*PageSize)
 		}
 	}
 	for i := uint32(0); i < n; i++ {
-		m.pages[first+i] = &page{perm: perm}
+		m.setPage(first+i, &page{perm: perm})
 	}
+	m.npages += int(n)
+	m.gen++
 	return nil
 }
 
@@ -144,9 +211,15 @@ func (m *Memory) Unmap(addr, size uint32) error {
 	if addr%PageSize != 0 || size%PageSize != 0 {
 		return fmt.Errorf("mem: Unmap(0x%08x, 0x%x): not page aligned", addr, size)
 	}
+	first := addr / PageSize
 	for i := uint32(0); i < size/PageSize; i++ {
-		delete(m.pages, addr/PageSize+i)
+		if m.pageAt(first+i) != nil {
+			m.setPage(first+i, nil)
+			m.npages--
+		}
 	}
+	m.lastPage = nil // the cached page may be the one removed
+	m.gen++
 	return nil
 }
 
@@ -159,13 +232,14 @@ func (m *Memory) Protect(addr, size uint32, perm Perm) error {
 	first := addr / PageSize
 	n := size / PageSize
 	for i := uint32(0); i < n; i++ {
-		if _, ok := m.pages[first+i]; !ok {
+		if m.pageAt(first+i) == nil {
 			return &Fault{Kind: FaultUnmapped, Addr: (first + i) * PageSize, Access: perm}
 		}
 	}
 	for i := uint32(0); i < n; i++ {
-		m.pages[first+i].perm = perm
+		m.pageAt(first + i).perm = perm
 	}
+	m.gen++
 	return nil
 }
 
@@ -208,6 +282,9 @@ func (m *Memory) Write8(addr uint32, v byte) error {
 		return err
 	}
 	p.data[addr&PageMask] = v
+	if p.perm&X != 0 {
+		m.gen++ // self-modifying code on a writable+executable page
+	}
 	return nil
 }
 
@@ -226,6 +303,15 @@ func (m *Memory) Fetch8(addr uint32) (byte, error) {
 // Read32 reads a little-endian 32-bit word. The access may cross a page
 // boundary; each byte is permission-checked.
 func (m *Memory) Read32(addr uint32) (uint32, error) {
+	if addr&PageMask <= PageSize-4 {
+		p, err := m.check(addr, R)
+		if err != nil {
+			return 0, err
+		}
+		o := addr & PageMask
+		return uint32(p.data[o]) | uint32(p.data[o+1])<<8 |
+			uint32(p.data[o+2])<<16 | uint32(p.data[o+3])<<24, nil
+	}
 	var v uint32
 	for i := uint32(0); i < 4; i++ {
 		b, err := m.Read8(addr + i)
@@ -239,6 +325,21 @@ func (m *Memory) Read32(addr uint32) (uint32, error) {
 
 // Write32 writes a little-endian 32-bit word.
 func (m *Memory) Write32(addr uint32, v uint32) error {
+	if addr&PageMask <= PageSize-4 {
+		p, err := m.check(addr, W)
+		if err != nil {
+			return err
+		}
+		o := addr & PageMask
+		p.data[o] = byte(v)
+		p.data[o+1] = byte(v >> 8)
+		p.data[o+2] = byte(v >> 16)
+		p.data[o+3] = byte(v >> 24)
+		if p.perm&X != 0 {
+			m.gen++
+		}
+		return nil
+	}
 	for i := uint32(0); i < 4; i++ {
 		if err := m.Write8(addr+i, byte(v>>(8*i))); err != nil {
 			return err
@@ -247,15 +348,17 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 	return nil
 }
 
-// ReadBytes reads n bytes starting at addr with R checks.
+// ReadBytes reads n bytes starting at addr with R checks, copying page-at-
+// a-time through the same translation path as every other access.
 func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
 	out := make([]byte, n)
-	for i := range out {
-		b, err := m.Read8(addr + uint32(i))
+	for off := 0; off < n; {
+		a := addr + uint32(off)
+		p, err := m.check(a, R)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = b
+		off += copy(out[off:], p.data[a&PageMask:])
 	}
 	return out, nil
 }
@@ -266,23 +369,41 @@ func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
 // lets a read() syscall overflow a buffer up to the edge of the mapped
 // stack, as in the paper's Section III-A example.
 func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
-	for i, v := range b {
-		if err := m.Write8(addr+uint32(i), v); err != nil {
-			return i, err
+	written := 0
+	for written < len(b) {
+		a := addr + uint32(written)
+		p, err := m.check(a, W)
+		if err != nil {
+			return written, err
 		}
+		nc := copy(p.data[a&PageMask:], b[written:])
+		if p.perm&X != 0 {
+			m.gen++
+		}
+		written += nc
 	}
-	return len(b), nil
+	return written, nil
 }
 
 // LoadRaw copies b into memory ignoring permissions (loader/kernel use,
-// and the machine-code attacker running in kernel mode).
+// and the machine-code attacker running in kernel mode). Any raw load
+// bumps the code generation: the bytes written may be (or become) code.
 func (m *Memory) LoadRaw(addr uint32, b []byte) error {
-	for i, v := range b {
-		p := m.page(addr + uint32(i))
+	dirty := false
+	for off := 0; off < len(b); {
+		a := addr + uint32(off)
+		p := m.page(a)
 		if p == nil {
-			return &Fault{Kind: FaultUnmapped, Addr: addr + uint32(i), Access: W}
+			if dirty {
+				m.gen++
+			}
+			return &Fault{Kind: FaultUnmapped, Addr: a, Access: W}
 		}
-		p.data[(addr+uint32(i))&PageMask] = v
+		off += copy(p.data[a&PageMask:], b[off:])
+		dirty = true
+	}
+	if dirty {
+		m.gen++
 	}
 	return nil
 }
@@ -293,30 +414,62 @@ func (m *Memory) LoadRaw(addr uint32, b []byte) error {
 func (m *Memory) PeekRaw(addr uint32, n int) (b []byte, ok bool) {
 	out := make([]byte, n)
 	ok = true
-	for i := range out {
-		p := m.page(addr + uint32(i))
-		if p == nil {
-			ok = false
-			continue
+	for off := 0; off < n; {
+		a := addr + uint32(off)
+		span := PageSize - int(a&PageMask)
+		if span > n-off {
+			span = n - off
 		}
-		out[i] = p.data[(addr+uint32(i))&PageMask]
+		if p := m.page(a); p != nil {
+			copy(out[off:off+span], p.data[a&PageMask:])
+		} else {
+			ok = false
+		}
+		off += span
 	}
 	return out, ok
 }
 
 // PeekWord reads a word ignoring permissions.
 func (m *Memory) PeekWord(addr uint32) uint32 {
+	if addr&PageMask <= PageSize-4 {
+		p := m.page(addr)
+		if p == nil {
+			return 0
+		}
+		o := addr & PageMask
+		return uint32(p.data[o]) | uint32(p.data[o+1])<<8 |
+			uint32(p.data[o+2])<<16 | uint32(p.data[o+3])<<24
+	}
 	b, _ := m.PeekRaw(addr, 4)
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // PokeWord writes a word ignoring permissions. It is a no-op on unmapped
-// addresses.
+// addresses. Like LoadRaw, a successful poke bumps the code generation.
 func (m *Memory) PokeWord(addr uint32, v uint32) {
+	if addr&PageMask <= PageSize-4 {
+		p := m.page(addr)
+		if p == nil {
+			return
+		}
+		o := addr & PageMask
+		p.data[o] = byte(v)
+		p.data[o+1] = byte(v >> 8)
+		p.data[o+2] = byte(v >> 16)
+		p.data[o+3] = byte(v >> 24)
+		m.gen++
+		return
+	}
+	dirty := false
 	for i := uint32(0); i < 4; i++ {
 		if p := m.page(addr + i); p != nil {
 			p.data[(addr+i)&PageMask] = byte(v >> (8 * i))
+			dirty = true
 		}
+	}
+	if dirty {
+		m.gen++
 	}
 }
 
@@ -330,39 +483,54 @@ type Region struct {
 // Regions returns the mapped regions sorted by address, coalescing adjacent
 // pages with identical permissions. Used by the figure renderer and by the
 // memory-scraping attacker, which walks exactly this view of the address
-// space.
+// space. The two-level table is walked in index order, which is address
+// order — no sorting pass.
 func (m *Memory) Regions() []Region {
-	if len(m.pages) == 0 {
+	if m.npages == 0 {
 		return nil
 	}
-	nums := make([]uint32, 0, len(m.pages))
-	for n := range m.pages {
-		nums = append(nums, n)
-	}
-	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	var out []Region
-	for _, n := range nums {
-		p := m.pages[n]
-		if len(out) > 0 {
-			last := &out[len(out)-1]
-			if last.Addr+last.Size == n*PageSize && last.Perm == p.perm {
-				last.Size += PageSize
+	for hi, t := range m.l1 {
+		if t == nil {
+			continue
+		}
+		for lo, p := range t {
+			if p == nil {
 				continue
 			}
+			addr := (uint32(hi)<<l2Bits | uint32(lo)) << pageShift
+			if len(out) > 0 {
+				last := &out[len(out)-1]
+				if last.Addr+last.Size == addr && last.Perm == p.perm {
+					last.Size += PageSize
+					continue
+				}
+			}
+			out = append(out, Region{Addr: addr, Size: PageSize, Perm: p.perm})
 		}
-		out = append(out, Region{Addr: n * PageSize, Size: PageSize, Perm: p.perm})
 	}
 	return out
 }
 
 // Clone returns a deep copy of the address space. Scenario runners use it
-// to replay attacks against identical initial states.
+// to replay attacks against identical initial states. The clone's
+// translation cache starts cold and its generation counter advances
+// independently of the original's.
 func (m *Memory) Clone() *Memory {
-	c := New()
-	for n, p := range m.pages {
-		np := &page{perm: p.perm}
-		np.data = p.data
-		c.pages[n] = np
+	c := &Memory{npages: m.npages, gen: m.gen}
+	for hi, t := range m.l1 {
+		if t == nil {
+			continue
+		}
+		nt := new(l2table)
+		c.l1[hi] = nt
+		for lo, p := range t {
+			if p != nil {
+				np := &page{perm: p.perm}
+				np.data = p.data
+				nt[lo] = np
+			}
+		}
 	}
 	return c
 }

@@ -313,3 +313,163 @@ func TestPermString(t *testing.T) {
 		t.Errorf("got %q", s)
 	}
 }
+
+// TestCloneIndependentCaches exercises the clone's translation cache and
+// generation counter: warming the original's cache before cloning must
+// not let the clone resolve to the original's pages, and code-generation
+// bumps on one side must not invalidate (or fail to invalidate) the
+// other.
+func TestCloneIndependentCaches(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, PageSize, RX)
+	m.PokeWord(0x1000, 0x11111111)
+	// Warm the original's one-entry translation cache on the page the
+	// clone will also use.
+	if _, err := m.Read8(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+
+	// The clone starts cold; its first access must resolve to its own
+	// copy of the page, not the original's cached one.
+	c.PokeWord(0x1000, 0x22222222)
+	if v := m.PeekWord(0x1000); v != 0x11111111 {
+		t.Fatalf("clone write reached original (got %#x)", v)
+	}
+	if v := c.PeekWord(0x1000); v != 0x22222222 {
+		t.Fatalf("clone lost its own write (got %#x)", v)
+	}
+
+	// And the original's warmed cache must keep writing to the original.
+	m.PokeWord(0x1000, 0x33333333)
+	if v := c.PeekWord(0x1000); v != 0x22222222 {
+		t.Fatalf("original write reached clone (got %#x)", v)
+	}
+
+	// Generation counters advance independently.
+	g0 := c.CodeGen()
+	m.PokeWord(0x1000, 0x44444444)
+	if c.CodeGen() != g0 {
+		t.Fatal("original's generation bump leaked into clone")
+	}
+	c.PokeWord(0x1000, 0x55555555)
+	if c.CodeGen() == g0 {
+		t.Fatal("clone's own poke did not bump its generation")
+	}
+}
+
+// TestCodeGenEvents pins down exactly which events bump the code
+// generation the CPU's decode cache subscribes to.
+func TestCodeGenEvents(t *testing.T) {
+	m := New()
+	bumped := func(name string, f func()) {
+		t.Helper()
+		g := m.CodeGen()
+		f()
+		if m.CodeGen() == g {
+			t.Fatalf("%s did not bump the code generation", name)
+		}
+	}
+	unchanged := func(name string, f func()) {
+		t.Helper()
+		g := m.CodeGen()
+		f()
+		if m.CodeGen() != g {
+			t.Fatalf("%s bumped the code generation", name)
+		}
+	}
+
+	bumped("Map", func() { mustMap(t, m, 0x1000, PageSize, RWX) })
+	bumped("Map data", func() { mustMap(t, m, 0x2000, PageSize, RW) })
+	bumped("Protect", func() {
+		if err := m.Protect(0x2000, PageSize, RW); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("Write8 to X page", func() {
+		if err := m.Write8(0x1000, 0x90); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("Write32 to X page", func() {
+		if err := m.Write32(0x1004, 0x90909090); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("WriteBytes to X page", func() {
+		if _, err := m.WriteBytes(0x1008, []byte{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("LoadRaw", func() {
+		if err := m.LoadRaw(0x2000, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("PokeWord", func() { m.PokeWord(0x2000, 7) })
+	bumped("Unmap", func() {
+		if err := m.Unmap(0x1000, PageSize); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	unchanged("Write8 to data page", func() {
+		if err := m.Write8(0x2000, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unchanged("Write32 to data page", func() {
+		if err := m.Write32(0x2004, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unchanged("Read8", func() {
+		if _, err := m.Read8(0x2000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unchanged("PeekWord", func() { m.PeekWord(0x2000) })
+	unchanged("PokeWord unmapped", func() { m.PokeWord(0x9000, 7) })
+}
+
+// TestBulkOpsCrossPages covers the chunked page-at-a-time copy paths.
+func TestBulkOpsCrossPages(t *testing.T) {
+	m := New()
+	mustMap(t, m, 0x1000, 4*PageSize, RW)
+	src := make([]byte, 2*PageSize+100)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	start := uint32(0x1000 + PageSize - 50) // straddles two boundaries
+	if n, err := m.WriteBytes(start, src); err != nil || n != len(src) {
+		t.Fatalf("WriteBytes: n=%d err=%v", n, err)
+	}
+	got, err := m.ReadBytes(start, len(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, got[i], src[i])
+		}
+	}
+	// PeekRaw across a mapped/unmapped boundary zero-fills the unmapped
+	// bytes and reports partial.
+	if err := m.Write8(0x1000+4*PageSize-1, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := m.PeekRaw(0x1000+4*PageSize-1, 4)
+	if ok {
+		t.Fatal("PeekRaw over unmapped tail reported ok")
+	}
+	if b[0] != 0xAB || b[1] != 0 || b[2] != 0 || b[3] != 0 {
+		t.Fatalf("PeekRaw boundary bytes wrong: % x", b)
+	}
+	// WriteBytes stops exactly at the unmapped boundary and reports the
+	// bytes written before the fault (the kernel's partial-copy
+	// semantics).
+	n, err2 := m.WriteBytes(0x1000+4*PageSize-8, make([]byte, 16))
+	if err2 == nil || n != 8 {
+		t.Fatalf("partial WriteBytes: n=%d err=%v, want 8 bytes then fault", n, err2)
+	}
+}

@@ -22,7 +22,15 @@ package pma
 import (
 	"fmt"
 
+	"softsec/internal/cpu"
 	"softsec/internal/kernel"
+)
+
+// Policy implements both the mandatory checker interface and the optional
+// compiled fast path the CPU binds at Run entry.
+var (
+	_ cpu.Policy        = (*Policy)(nil)
+	_ cpu.CheckCompiler = (*Policy)(nil)
 )
 
 // Module describes one protected module's memory layout.
@@ -192,6 +200,93 @@ func (p *Policy) CheckExec(from, to uint32) error {
 		return &Violation{Rule: "enter-not-entry", Module: dst.Name, IP: from, Addr: to}
 	}
 	return nil
+}
+
+// CompileChecks implements cpu.CheckCompiler: the CPU binds these checker
+// functions once when the policy is installed. For the common single-
+// module configuration the generic per-byte ownership loops collapse to
+// straight range compares over the access interval; semantics (including
+// the Violation values produced) are identical to the Check* methods.
+// Multi-module policies fall back to those methods.
+func (p *Policy) CompileChecks() (read, write func(ip, addr uint32, size int) error,
+	exec func(from, to uint32) error) {
+	if len(p.modules) != 1 {
+		return p.CheckRead, p.CheckWrite, p.CheckExec
+	}
+	m := &p.modules[0]
+
+	// overlapStart returns the first accessed byte inside the module, if
+	// any. The access interval is [addr, addr+size), which all callers
+	// (the CPU issues only 1- and 4-byte accesses) keep wrap-free; the
+	// compiled checkers route the exotic wrapping case back to the
+	// generic per-byte path.
+	overlapStart := func(addr, end uint32) (uint32, bool) {
+		hit := uint32(0)
+		found := false
+		if m.CodeStart < m.CodeEnd && addr < m.CodeEnd && end > m.CodeStart {
+			hit, found = max32(addr, m.CodeStart), true
+		}
+		if m.DataStart < m.DataEnd && addr < m.DataEnd && end > m.DataStart {
+			if h := max32(addr, m.DataStart); !found || h < hit {
+				hit, found = h, true
+			}
+		}
+		return hit, found
+	}
+
+	access := func(kind string, generic func(ip, addr uint32, size int) error,
+	) func(ip, addr uint32, size int) error {
+		return func(ip, addr uint32, size int) error {
+			end := addr + uint32(size)
+			if end < addr {
+				return generic(ip, addr, size)
+			}
+			hit, found := overlapStart(addr, end)
+			if !found || m.contains(ip) {
+				return nil
+			}
+			return &Violation{Rule: kind + "-from-outside", Module: m.Name, IP: ip, Addr: hit}
+		}
+	}
+	read = access("read", p.CheckRead)
+
+	checkedWrite := access("write", func(ip, addr uint32, size int) error {
+		return p.checkAccess("write", ip, addr, size)
+	})
+	write = func(ip, addr uint32, size int) error {
+		end := addr + uint32(size)
+		if end < addr {
+			return p.CheckWrite(ip, addr, size)
+		}
+		if m.CodeStart < m.CodeEnd && addr < m.CodeEnd && end > m.CodeStart {
+			return &Violation{Rule: "code-write", Module: m.Name, IP: ip, Addr: addr}
+		}
+		return checkedWrite(ip, addr, size)
+	}
+
+	exec = func(from, to uint32) error {
+		if to >= m.DataStart && to < m.DataEnd {
+			return &Violation{Rule: "exec-data", Module: m.Name, IP: from, Addr: to}
+		}
+		if to < m.CodeStart || to >= m.CodeEnd {
+			return nil // target outside the module: always allowed
+		}
+		if from >= m.CodeStart && from < m.CodeEnd {
+			return nil // internal flow
+		}
+		if !m.isEntry(to) {
+			return &Violation{Rule: "enter-not-entry", Module: m.Name, IP: from, Addr: to}
+		}
+		return nil
+	}
+	return read, write, exec
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Protect installs the policy on a process and returns it, mirroring the

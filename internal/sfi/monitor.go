@@ -1,0 +1,108 @@
+package sfi
+
+import (
+	"fmt"
+
+	"softsec/internal/cpu"
+)
+
+// Monitor is a runtime second line of defense behind the SFI toolchain: a
+// cpu.Policy confining every data access made by module code to the
+// sandbox, and every branch taken by module code to the module's own
+// text. The paper's SFI guarantee rests entirely on the load-time
+// verifier; installing a Monitor turns a verifier bug (or a hand-patched
+// binary that slipped past it) into a detected policy fault instead of a
+// silent host-memory corruption. Host code (ip outside the module text)
+// is unrestricted.
+//
+// Like NaCl's guard zone, the monitor tolerates a masked word access at
+// offset Size-1 spilling up to 3 bytes past the sandbox top; loaders must
+// map that guard region (see Sandbox).
+type Monitor struct {
+	Sandbox Sandbox
+	// Module text range [CodeStart, CodeEnd): accesses by instructions in
+	// this range are confined.
+	CodeStart uint32
+	CodeEnd   uint32
+}
+
+var (
+	_ cpu.Policy        = (*Monitor)(nil)
+	_ cpu.CheckCompiler = (*Monitor)(nil)
+)
+
+// EscapeError is a sandbox-escape attempt caught by the Monitor. It
+// satisfies error; the CPU wraps it in a FaultPolicy.
+type EscapeError struct {
+	Kind string // "read", "write" or "branch"
+	IP   uint32
+	Addr uint32
+}
+
+func (e *EscapeError) Error() string {
+	return fmt.Sprintf("sfi monitor: module %s escape: ip 0x%08x, addr 0x%08x",
+		e.Kind, e.IP, e.Addr)
+}
+
+func (mo *Monitor) inModule(a uint32) bool {
+	return a >= mo.CodeStart && a < mo.CodeEnd
+}
+
+func (mo *Monitor) checkData(kind string, ip, addr uint32, size int) error {
+	if !mo.inModule(ip) {
+		return nil
+	}
+	end := addr + uint32(size)
+	if addr >= mo.Sandbox.Base && end >= addr &&
+		end <= mo.Sandbox.Base+mo.Sandbox.Size+3 {
+		return nil
+	}
+	return &EscapeError{Kind: kind, IP: ip, Addr: addr}
+}
+
+// CheckRead implements cpu.Policy.
+func (mo *Monitor) CheckRead(ip, addr uint32, size int) error {
+	return mo.checkData("read", ip, addr, size)
+}
+
+// CheckWrite implements cpu.Policy.
+func (mo *Monitor) CheckWrite(ip, addr uint32, size int) error {
+	return mo.checkData("write", ip, addr, size)
+}
+
+// CheckExec implements cpu.Policy: module code may only branch within the
+// module (the dialect is run-to-completion — it leaves via the exit
+// syscall, never via ret or an indirect jump).
+func (mo *Monitor) CheckExec(from, to uint32) error {
+	if mo.inModule(from) && !mo.inModule(to) {
+		return &EscapeError{Kind: "branch", IP: from, Addr: to}
+	}
+	return nil
+}
+
+// CompileChecks implements cpu.CheckCompiler, hoisting the bounds loads
+// out of the per-access path.
+func (mo *Monitor) CompileChecks() (read, write func(ip, addr uint32, size int) error,
+	exec func(from, to uint32) error) {
+	lo, hi := mo.Sandbox.Base, mo.Sandbox.Base+mo.Sandbox.Size+3
+	cs, ce := mo.CodeStart, mo.CodeEnd
+	data := func(kind string) func(ip, addr uint32, size int) error {
+		return func(ip, addr uint32, size int) error {
+			if ip < cs || ip >= ce {
+				return nil
+			}
+			end := addr + uint32(size)
+			if addr >= lo && end >= addr && end <= hi {
+				return nil
+			}
+			return &EscapeError{Kind: kind, IP: ip, Addr: addr}
+		}
+	}
+	exec = func(from, to uint32) error {
+		if from >= cs && from < ce && (to < cs || to >= ce) {
+			return &EscapeError{Kind: "branch", IP: from, Addr: to}
+		}
+		return nil
+	}
+	return data("read"), data("write"), exec
+}

@@ -1,0 +1,91 @@
+package sfi
+
+import (
+	"errors"
+	"testing"
+
+	"softsec/internal/cpu"
+	"softsec/internal/kernel"
+)
+
+// installMonitor puts a Monitor over the plugin module's text range, as a
+// paranoid host would after loading an SFI module.
+func installMonitor(t *testing.T, p *kernel.Process) *Monitor {
+	t.Helper()
+	b, ok := p.Module("plugin")
+	if !ok {
+		t.Fatal("no plugin module in process")
+	}
+	mo := &Monitor{Sandbox: sb(), CodeStart: b.TextStart, CodeEnd: b.TextEnd}
+	p.CPU.Policy = mo
+	return mo
+}
+
+// TestMonitorAllowsMaskedPlugin: a properly rewritten plugin never trips
+// the runtime monitor — the defense in depth is free of false positives.
+func TestMonitorAllowsMaskedPlugin(t *testing.T) {
+	p := hostWithPlugin(t, scraperSource, true)
+	installMonitor(t, p)
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if p.CPU.ExitCode() != 0 {
+		t.Fatalf("exit %d, want 0 (scraper confined to sandbox)", p.CPU.ExitCode())
+	}
+}
+
+// TestMonitorCatchesUnmaskedPlugin models a verifier bypass: the vandal
+// module was loaded without Rewrite/Verify (as if a checker bug let it
+// through). The monitor converts the host-memory write into a policy
+// fault instead of a silent corruption.
+func TestMonitorCatchesUnmaskedPlugin(t *testing.T) {
+	vandal := `
+	.text
+	.global main
+main:
+	mov esi, 0x08100000   ; host data
+	mov eax, 0xdead
+	storew [esi], eax
+	mov ebx, 0
+	mov eax, 1
+	int 0x80
+`
+	p := hostWithPlugin(t, vandal, false)
+	installMonitor(t, p)
+	if st := p.Run(); st != cpu.Faulted {
+		t.Fatalf("state %v, want fault", st)
+	}
+	f := p.CPU.Fault()
+	if f.Kind != cpu.FaultPolicy {
+		t.Fatalf("fault kind %v, want policy", f.Kind)
+	}
+	var esc *EscapeError
+	if !errors.As(f, &esc) || esc.Kind != "write" {
+		t.Fatalf("fault %v, want write EscapeError", f)
+	}
+	// Host data must be intact.
+	host, _ := p.Mem.PeekRaw(0x08100000, 4)
+	if le32(host) == 0xdead {
+		t.Fatal("host data corrupted despite monitor")
+	}
+}
+
+// TestMonitorConfinesBranches: module code jumping into host text is a
+// caught escape.
+func TestMonitorConfinesBranches(t *testing.T) {
+	escapee := `
+	.text
+	.global main
+main:
+	jmp get_secret        ; direct branch out of the module
+`
+	p := hostWithPlugin(t, escapee, false)
+	installMonitor(t, p)
+	if st := p.Run(); st != cpu.Faulted {
+		t.Fatalf("state %v, want fault", st)
+	}
+	var esc *EscapeError
+	if !errors.As(p.CPU.Fault(), &esc) || esc.Kind != "branch" {
+		t.Fatalf("fault %v, want branch EscapeError", p.CPU.Fault())
+	}
+}
