@@ -6,6 +6,10 @@
 package softsec
 
 import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
 	"testing"
 
 	"softsec/internal/asm"
@@ -14,6 +18,7 @@ import (
 	"softsec/internal/core"
 	"softsec/internal/cpu"
 	"softsec/internal/figures"
+	"softsec/internal/harness"
 	"softsec/internal/kernel"
 	"softsec/internal/mem"
 	"softsec/internal/minc"
@@ -350,6 +355,33 @@ func BenchmarkT1Matrix(b *testing.B) {
 		if len(m.Attacks) != len(attacks) {
 			b.Fatal("short matrix")
 		}
+	}
+}
+
+// BenchmarkTrialThroughput measures harness trials/sec at increasing
+// worker-pool widths — the scaling trajectory, not just single-run
+// latency. Each trial is a full T1 cell (compile, recon, link, load,
+// attack, classify) with a per-trial ASLR layout.
+func BenchmarkTrialThroughput(b *testing.B) {
+	var spec core.AttackSpec
+	for _, a := range core.Attacks() {
+		if a.Name == "stack-smash-inject" {
+			spec = a
+		}
+	}
+	sc := core.TrialScenario(spec, core.Mitigations{DEP: true, ASLR: true}, true)
+	widths := []int{1, 4, runtime.NumCPU()}
+	sort.Ints(widths)
+	widths = slices.Compact(widths)
+	for _, jobs := range widths {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			rep := harness.Run([]harness.Scenario{sc},
+				harness.Options{Trials: b.N, Jobs: jobs, BaseSeed: 1})
+			if c := rep.Cells[0]; c.Errors > 0 {
+				b.Fatalf("%d trial errors: %s", c.Errors, c.FirstError)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+		})
 	}
 }
 

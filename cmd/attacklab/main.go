@@ -1,21 +1,41 @@
 // Command attacklab regenerates the reproduction's headline tables:
 //
-//	attacklab            # T1: attack technique x countermeasure matrix
-//	attacklab -machine   # T3: isolation mechanism x machine-code attacker
-//	attacklab -list      # list the attack catalog
+//	attacklab                       # T1: attack x countermeasure matrix
+//	attacklab -machine              # T3: isolation x machine-code attacker
+//	attacklab -list                 # list the attack catalog
+//	attacklab -scenarios            # list every registered harness scenario
+//
+// With -trials > 1 the matrices become Monte-Carlo sweeps: every cell
+// runs that many independent trials across a -jobs wide worker pool,
+// re-randomizing ASLR layouts and canary values per trial, and the
+// output is a success-rate table (or a JSON report with -json). Results
+// are independent of -jobs.
+//
+//	attacklab -trials 256 -jobs 8
+//	attacklab -group mc-aslr -trials 1000 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"softsec/internal/core"
+	"softsec/internal/harness"
 )
 
 func main() {
-	machine := flag.Bool("machine", false, "run the machine-code attacker (T3) matrix")
-	list := flag.Bool("list", false, "list the attack catalog")
+	var (
+		machine   = flag.Bool("machine", false, "run the machine-code attacker (T3) matrix")
+		list      = flag.Bool("list", false, "list the attack catalog")
+		scenarios = flag.Bool("scenarios", false, "list every registered harness scenario")
+		group     = flag.String("group", "", "restrict the sweep to one scenario group (t1, t3, mc-aslr, mc-canary)")
+		trials    = flag.Int("trials", 1, "independent trials per cell")
+		jobs      = flag.Int("jobs", runtime.NumCPU(), "worker-pool width")
+		seed      = flag.Int64("seed", 0, "base seed for per-trial seed derivation")
+		asJSON    = flag.Bool("json", false, "emit the aggregate report as JSON")
+	)
 	flag.Parse()
 
 	if *list {
@@ -24,8 +44,50 @@ func main() {
 		}
 		return
 	}
+
+	reg := harness.NewRegistry()
+	if err := core.RegisterScenarios(reg); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(1)
+	}
+	if *scenarios {
+		for _, s := range reg.All() {
+			fmt.Printf("%-44s group=%s\n", s.Name, s.Group)
+		}
+		return
+	}
+
+	// Sweep mode: run registered scenarios through the trial engine.
+	if *trials > 1 || *asJSON || *group != "" {
+		sel := *group
+		if sel == "" {
+			sel = "t1"
+			if *machine {
+				sel = "t3"
+			}
+		}
+		scs := reg.Group(sel)
+		if len(scs) == 0 {
+			fmt.Fprintf(os.Stderr, "attacklab: no scenarios in group %q (try -scenarios)\n", sel)
+			os.Exit(2)
+		}
+		rep := harness.Run(scs, harness.Options{Trials: *trials, Jobs: *jobs, BaseSeed: *seed})
+		if *asJSON {
+			b, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "attacklab:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(append(b, '\n'))
+			return
+		}
+		fmt.Printf("%s — %d trials/cell (base seed %d)\n\n", sel, *trials, *seed)
+		fmt.Print(rep.Render())
+		return
+	}
+
 	if *machine {
-		rows, err := core.RunIsolationMatrix()
+		rows, err := core.RunIsolationMatrixJobs(*jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "attacklab:", err)
 			os.Exit(1)
@@ -37,6 +99,6 @@ func main() {
 	}
 	fmt.Println("T1 — attack techniques vs deployed countermeasures (Sections III-B, III-C)")
 	fmt.Println()
-	m := core.RunMatrix(core.Attacks(), core.StandardConfigs())
+	m := core.RunMatrixJobs(core.Attacks(), core.StandardConfigs(), *jobs)
 	fmt.Print(m.Render())
 }

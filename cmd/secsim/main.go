@@ -1,18 +1,28 @@
-// Command secsim runs one attack scenario from the catalog under a chosen
-// countermeasure configuration and reports the classified outcome.
+// Command secsim runs attack scenarios from the catalog under a chosen
+// countermeasure configuration and reports classified outcomes.
 //
-// Usage:
+// One trial (the classic mode):
 //
 //	secsim -attack stack-smash-inject -canary -dep
 //	secsim -attack leak-assisted-ret2libc -canary -dep -aslr -seed 7 -v
+//
+// Many trials across a worker pool (the harness mode): each trial derives
+// its own deterministic seed from -seed, re-randomizing the ASLR layout
+// and canary value when those mitigations are enabled, and the aggregate
+// success rate is reported. Results are independent of -jobs.
+//
+//	secsim -attack stack-smash-inject -aslr -trials 256 -jobs 8
+//	secsim -attack rop-chain -canary -dep -trials 1000 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"softsec/internal/core"
+	"softsec/internal/harness"
 )
 
 func main() {
@@ -21,9 +31,12 @@ func main() {
 		canary  = flag.Bool("canary", false, "stack canaries")
 		dep     = flag.Bool("dep", false, "Data Execution Prevention")
 		aslr    = flag.Bool("aslr", false, "ASLR")
-		seed    = flag.Int64("seed", 42, "ASLR seed")
+		seed    = flag.Int64("seed", 42, "ASLR seed (single trial) / base seed (sweeps)")
 		checked = flag.Bool("checked", false, "checked dialect + fortified libc")
 		verbose = flag.Bool("v", false, "print victim source and output")
+		trials  = flag.Int("trials", 1, "number of independent trials")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "worker-pool width for sweeps")
+		asJSON  = flag.Bool("json", false, "emit the aggregate report as JSON")
 	)
 	flag.Parse()
 
@@ -45,6 +58,12 @@ func main() {
 		ASLR: *aslr, ASLRSeed: *seed,
 		Checked: *checked,
 	}
+
+	if *trials > 1 || *asJSON {
+		runSweep(*spec, m, *trials, *jobs, *seed, *asJSON)
+		return
+	}
+
 	s, err := spec.Scenario(m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secsim:", err)
@@ -70,6 +89,35 @@ func main() {
 		fmt.Printf("output:     %q\n", res.Output)
 	}
 	if res.Outcome == core.Compromised {
+		os.Exit(1)
+	}
+}
+
+// runSweep executes the (attack, mitigation) cell as a parallel trial
+// sweep and exits 1 when any trial was compromised (mirroring the
+// single-trial exit convention).
+func runSweep(spec core.AttackSpec, m core.Mitigations, trials, jobs int, baseSeed int64, asJSON bool) {
+	sc := core.TrialScenario(spec, m, true)
+	rep := harness.Run([]harness.Scenario{sc},
+		harness.Options{Trials: trials, Jobs: jobs, BaseSeed: baseSeed})
+	if asJSON {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secsim:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Printf("attack:     %s (%s)\n", spec.Name, spec.Technique)
+		fmt.Printf("mitigation: %s\n", m)
+		fmt.Print(rep.Render())
+	}
+	c := rep.Cells[0]
+	if c.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "secsim: %d/%d trials errored: %s\n", c.Errors, c.Trials, c.FirstError)
+		os.Exit(1)
+	}
+	if c.Successes > 0 {
 		os.Exit(1)
 	}
 }

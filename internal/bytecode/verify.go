@@ -1,6 +1,10 @@
 package bytecode
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
 
 // VerifyModule is the load-time bytecode verifier — the JVM-style step
 // that rejects abstraction-violating bytecode *before* it ever runs,
@@ -10,12 +14,21 @@ import "fmt"
 // non-negative on every path, foreign private-field accesses are refused
 // outright, and methods must terminate every path with a return.
 func VerifyModule(m *Module, known func(mod, method string) (*Method, bool)) error {
-	for name, meth := range m.Methods {
-		if err := verifyMethod(m, name, meth, known); err != nil {
-			return err
+	// Every method is verified and every violation reported, in sorted
+	// name order — a partial, map-iteration-ordered report would make
+	// rejection messages nondeterministic run to run.
+	names := make([]string, 0, len(m.Methods))
+	for name := range m.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var errs []error
+	for _, name := range names {
+		if err := verifyMethod(m, name, m.Methods[name], known); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Link verifies every module of a program against each other and returns

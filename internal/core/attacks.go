@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"softsec/internal/asm"
 	"softsec/internal/attack"
 	"softsec/internal/cpu"
+	"softsec/internal/isa"
 	"softsec/internal/kernel"
 )
 
@@ -67,10 +69,32 @@ func ReconNominal(s Scenario, m Mitigations) (Recon, error) {
 	} else {
 		r.BufAddr = ebp - 16
 	}
-	r.StartRet, _ = p.SymbolAddr("_start")
-	r.StartRet += 5 // the instruction after `call main`
+	// The return address main's frame holds is the instruction after
+	// _start's `call main`. Derive it by disassembling at _start rather
+	// than hardcoding the CALL encoding's size, so recon survives any
+	// future _start prologue change.
+	startAddr, ok := p.SymbolAddr("_start")
+	if !ok {
+		return Recon{}, fmt.Errorf("core: recon: symbol %q missing", "_start")
+	}
+	startCode, ok := p.Mem.PeekRaw(startAddr, funcSpan(p, startAddr))
+	if !ok {
+		return Recon{}, fmt.Errorf("core: recon: cannot read _start code at 0x%08x", startAddr)
+	}
+	for _, l := range isa.Disassemble(startCode, startAddr) {
+		if !l.Bad && l.Instr.Op == isa.CALL {
+			r.StartRet = l.Addr + uint32(l.Instr.Size)
+			break
+		}
+	}
+	if r.StartRet == 0 {
+		return Recon{}, fmt.Errorf("core: recon: no CALL found in _start's first %d bytes", len(startCode))
+	}
 	// Mine the pop4 gadget from libc text.
-	text, _ := p.Mem.PeekRaw(p.Layout.Text, len(p.Linked.Text))
+	text, ok := p.Mem.PeekRaw(p.Layout.Text, len(p.Linked.Text))
+	if !ok {
+		return Recon{}, fmt.Errorf("core: recon: cannot read text [0x%08x, +%d)", p.Layout.Text, len(p.Linked.Text))
+	}
 	gs := attack.FindGadgets(text, p.Layout.Text, 6)
 	if g, ok := attack.FindPopChain(gs, 4); ok {
 		r.Pop4Gadget = g.Addr
@@ -78,6 +102,25 @@ func ReconNominal(s Scenario, m Mitigations) (Recon, error) {
 		return Recon{}, fmt.Errorf("core: recon: no pop4 gadget in victim")
 	}
 	return r, nil
+}
+
+// funcSpan returns the length of the function starting at addr: up to
+// the next exported text symbol, or the end of the loaded text. Local
+// text symbols are labels inside a function and do not delimit it.
+func funcSpan(p *kernel.Process, addr uint32) int {
+	end := p.Layout.Text + uint32(len(p.Linked.Text))
+	for _, s := range p.Linked.Symbols {
+		if s.Section != asm.SecText || !s.Global {
+			continue
+		}
+		if a := p.Layout.Text + s.Off; a > addr && a < end {
+			end = a
+		}
+	}
+	if addr >= end {
+		return 0
+	}
+	return int(end - addr)
 }
 
 // An AttackSpec is one row of the Table-1 matrix: a named attack technique

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"softsec/internal/harness"
+)
+
+func TestRegisterScenariosCatalog(t *testing.T) {
+	r := harness.NewRegistry()
+	if err := RegisterScenarios(r); err != nil {
+		t.Fatal(err)
+	}
+	attacks, configs := Attacks(), StandardConfigs()
+	if got, want := len(r.Group("t1")), len(attacks)*len(configs); got != want {
+		t.Fatalf("t1 cells %d, want %d", got, want)
+	}
+	if got, want := len(r.Group("t3")), len(IsolationMechanisms)*len(AttackerModels); got != want {
+		t.Fatalf("t3 cells %d, want %d", got, want)
+	}
+	if got, want := len(r.Group("mc-aslr")), len(attacks); got != want {
+		t.Fatalf("mc-aslr cells %d, want %d", got, want)
+	}
+	if len(r.Group("mc-canary")) == 0 {
+		t.Fatal("no canary sweeps registered")
+	}
+	if _, ok := r.Lookup("t1/rop-chain/canary+dep+aslr"); !ok {
+		t.Fatal("expected cell name missing — naming scheme changed?")
+	}
+	// Registering twice must fail loudly, not silently double the catalog.
+	if err := RegisterScenarios(r); err == nil {
+		t.Fatal("duplicate catalog registration accepted")
+	}
+}
+
+// TestHarnessDeterminismAcrossJobs is the acceptance property: the same
+// sweep aggregated from 1 worker and from many workers must serialize to
+// byte-identical reports.
+func TestHarnessDeterminismAcrossJobs(t *testing.T) {
+	scs := []harness.Scenario{
+		TrialScenario(Attacks()[0], Mitigations{ASLR: true}, true),
+		TrialScenario(Attacks()[0], Mitigations{Canary: true, CanarySeed: 7, DEP: true}, true),
+	}
+	run := func(jobs int) []byte {
+		rep := harness.Run(scs, harness.Options{Trials: 8, Jobs: jobs, BaseSeed: 99})
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(1)
+	many := run(8)
+	if !bytes.Equal(one, many) {
+		t.Fatalf("jobs=1 vs jobs=8 reports differ:\n%s\nvs\n%s", one, many)
+	}
+}
+
+// TestASLRSweepViaHarness replaces the old 8-seed loop with a harness
+// sweep: the nominal-layout exploit must fail for every randomized
+// layout in the window.
+func TestASLRSweepViaHarness(t *testing.T) {
+	sc := aslrSweep(Attacks()[0]) // stack-smash-inject
+	rep := harness.Run([]harness.Scenario{sc}, harness.Options{Trials: 16, Jobs: 4, BaseSeed: 1})
+	c := rep.Cells[0]
+	if c.Errors > 0 {
+		t.Fatalf("sweep errors: %s", c.FirstError)
+	}
+	if c.Successes != 0 {
+		t.Fatalf("exploit survived ASLR in %d/%d trials", c.Successes, c.Trials)
+	}
+}
+
+// TestScenarioRerunsAreIndependent re-runs one Scenario value through
+// core.Run twice — the ScriptInput cloning in the loader must make the
+// second run see the same input as the first.
+func TestScenarioRerunsAreIndependent(t *testing.T) {
+	a := Attacks()[0]
+	m := Mitigations{}
+	s, err := a.Scenario(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Outcome != Compromised || second.Outcome != first.Outcome {
+		t.Fatalf("rerun diverged: first %v, second %v", first.Outcome, second.Outcome)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"softsec/internal/bytecode"
 	"softsec/internal/capmach"
 	"softsec/internal/cpu"
+	"softsec/internal/harness"
 	"softsec/internal/kernel"
 	"softsec/internal/minc"
 	"softsec/internal/pma"
@@ -51,17 +52,72 @@ int get_secret(int provided_pin) {
 
 var pinPattern = []byte{0xd2, 0x04, 0x00, 0x00} // 1234 little-endian
 
-// RunIsolationMatrix executes the full T3 grid.
-func RunIsolationMatrix() ([]IsolationResult, error) {
-	var out []IsolationResult
-	for _, mech := range []string{"none", "bytecode-vm", "sfi", "capability", "pma"} {
-		for _, attacker := range []string{"in-process", "kernel"} {
+// IsolationMechanisms are the rows of the T3 grid, AttackerModels its
+// columns.
+var (
+	IsolationMechanisms = []string{"none", "bytecode-vm", "sfi", "capability", "pma"}
+	AttackerModels      = []string{"in-process", "kernel"}
+)
+
+// IsolationScenario wraps one (mechanism, attacker) cell as a harness
+// scenario. The cells are deterministic, so trials beyond the first just
+// confirm stability; the scenario form is what lets the matrix share the
+// worker pool and the JSON report with everything else.
+func IsolationScenario(mech, attacker string) harness.Scenario {
+	return harness.Scenario{
+		Name:  "t3/" + mech + "/" + attacker,
+		Group: "t3",
+		Meta:  map[string]string{"mechanism": mech, "attacker": attacker},
+		Run: func(t harness.Trial) harness.TrialResult {
 			r, err := runIsolationCell(mech, attacker)
 			if err != nil {
-				return nil, fmt.Errorf("isolation %s/%s: %w", mech, attacker, err)
+				return harness.TrialResult{Err: err}
 			}
-			out = append(out, r)
+			outcome := "SAFE"
+			if r.SecretStolen {
+				outcome = "STOLEN"
+			}
+			return harness.TrialResult{
+				Outcome: outcome,
+				Success: r.SecretStolen,
+				Detail:  r.Note,
+			}
+		},
+	}
+}
+
+// IsolationScenarios builds the full T3 grid as harness scenarios.
+func IsolationScenarios() []harness.Scenario {
+	var out []harness.Scenario
+	for _, mech := range IsolationMechanisms {
+		for _, attacker := range AttackerModels {
+			out = append(out, IsolationScenario(mech, attacker))
 		}
+	}
+	return out
+}
+
+// RunIsolationMatrix executes the full T3 grid serially.
+func RunIsolationMatrix() ([]IsolationResult, error) {
+	return RunIsolationMatrixJobs(1)
+}
+
+// RunIsolationMatrixJobs executes the T3 grid across a worker pool.
+func RunIsolationMatrixJobs(jobs int) ([]IsolationResult, error) {
+	scenarios := IsolationScenarios()
+	rep := harness.Run(scenarios, harness.Options{Trials: 1, Jobs: jobs})
+	var out []IsolationResult
+	for i, sc := range scenarios {
+		r := rep.Results[i][0]
+		if r.Err != nil {
+			return nil, fmt.Errorf("isolation %s/%s: %w", sc.Meta["mechanism"], sc.Meta["attacker"], r.Err)
+		}
+		out = append(out, IsolationResult{
+			Mechanism:    sc.Meta["mechanism"],
+			Attacker:     sc.Meta["attacker"],
+			SecretStolen: r.Success,
+			Note:         r.Detail,
+		})
 	}
 	return out, nil
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"softsec/internal/harness"
 )
 
 // StandardConfigs are the countermeasure columns of the T1 matrix: from
@@ -17,6 +19,60 @@ func StandardConfigs() []Mitigations {
 		{Canary: true, CanarySeed: 7, DEP: true, ASLR: true, ASLRSeed: 42},
 		{Checked: true, DEP: true},
 	}
+}
+
+// canaryMix decorrelates the canary seed from the ASLR seed when both
+// derive from the same per-trial seed.
+const canaryMix = int64(0x5eed_caba_11ed_c0de)
+
+// nonzeroSeed keeps a derived seed away from zero, which the kernel
+// treats as "use the predictable default canary" — a semantic a random
+// sweep must never hit by accident.
+func nonzeroSeed(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// TrialScenario wraps one (attack, mitigation) cell as a harness
+// scenario. When perTrialSeeds is set, each trial re-randomizes what the
+// config randomizes: the ASLR layout seed, and the canary value when the
+// config uses an unpredictable canary (CanarySeed != 0 — a zero seed
+// deliberately models the predictable default canary and is preserved).
+// Deterministic configs simply repeat, which is what makes success *rates*
+// meaningful for the randomized ones.
+func TrialScenario(a AttackSpec, cfg Mitigations, perTrialSeeds bool) harness.Scenario {
+	label := cfg.String()
+	return harness.Scenario{
+		Name:  "t1/" + a.Name + "/" + label,
+		Group: "t1",
+		Meta:  map[string]string{"attack": a.Name, "mitigation": label},
+		Run: func(t harness.Trial) harness.TrialResult {
+			m := cfg
+			if perTrialSeeds {
+				if m.ASLR {
+					m.ASLRSeed = t.Seed
+				}
+				if m.Canary && m.CanarySeed != 0 {
+					m.CanarySeed = nonzeroSeed(t.Seed ^ canaryMix)
+				}
+			}
+			return runTrialCell(a, m)
+		},
+	}
+}
+
+// T1Scenarios builds the full attack × mitigation grid as harness
+// scenarios, in row-major order.
+func T1Scenarios(attacks []AttackSpec, configs []Mitigations, perTrialSeeds bool) []harness.Scenario {
+	var out []harness.Scenario
+	for _, a := range attacks {
+		for _, cfg := range configs {
+			out = append(out, TrialScenario(a, cfg, perTrialSeeds))
+		}
+	}
+	return out
 }
 
 // Cell is one matrix entry.
@@ -34,31 +90,34 @@ type Matrix struct {
 	Cells       map[string]map[string]Cell // attack -> mitigation -> cell
 }
 
-// RunMatrix executes every attack under every configuration.
+// RunMatrix executes every attack under every configuration, serially.
 func RunMatrix(attacks []AttackSpec, configs []Mitigations) *Matrix {
+	return RunMatrixJobs(attacks, configs, 1)
+}
+
+// RunMatrixJobs executes the matrix with the configured seeds (one trial
+// per cell), spreading cells across a harness worker pool of the given
+// width. Results are independent of jobs.
+func RunMatrixJobs(attacks []AttackSpec, configs []Mitigations, jobs int) *Matrix {
 	m := &Matrix{Cells: make(map[string]map[string]Cell)}
 	for _, cfg := range configs {
 		m.Mitigations = append(m.Mitigations, cfg.String())
 	}
 	for _, a := range attacks {
 		m.Attacks = append(m.Attacks, a.Name)
-		row := make(map[string]Cell)
-		for _, cfg := range configs {
-			cell := Cell{Attack: a.Name, Mitigation: cfg.String()}
-			s, err := a.Scenario(cfg)
-			if err != nil {
-				cell.Err = err
-			} else {
-				res, err := Run(s, cfg)
-				if err != nil {
-					cell.Err = err
-				} else {
-					cell.Outcome = res.Outcome
-				}
-			}
-			row[cfg.String()] = cell
+		m.Cells[a.Name] = make(map[string]Cell)
+	}
+	scenarios := T1Scenarios(attacks, configs, false)
+	rep := harness.Run(scenarios, harness.Options{Trials: 1, Jobs: jobs})
+	for i, sc := range scenarios {
+		r := rep.Results[i][0]
+		cell := Cell{
+			Attack:     sc.Meta["attack"],
+			Mitigation: sc.Meta["mitigation"],
+			Outcome:    Outcome(r.Code),
+			Err:        r.Err,
 		}
-		m.Cells[a.Name] = row
+		m.Cells[cell.Attack][cell.Mitigation] = cell
 	}
 	return m
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"softsec/internal/harness"
+)
+
+// RegisterScenarios populates a harness registry with every experiment
+// cell the reproduction knows:
+//
+//   - t1/<attack>/<mitigation> — the Table-1 grid, with per-trial
+//     re-randomization of ASLR layouts and canary values, so trial counts
+//     turn the table's qualitative claims into measured success rates;
+//   - t3/<mechanism>/<attacker> — the isolation grid of Section IV-A;
+//   - mc/aslr/<attack> — Monte-Carlo ASLR sweeps: the nominal-layout
+//     exploit against a freshly randomized layout every trial (the paper's
+//     "probabilistic countermeasure" claim is a statement about exactly
+//     this distribution);
+//   - mc/canary/<attack> — Monte-Carlo canary sweeps: a fresh secret
+//     canary value every trial against the smashing attacks.
+func RegisterScenarios(r *harness.Registry) error {
+	attacks := Attacks()
+	for _, sc := range T1Scenarios(attacks, StandardConfigs(), true) {
+		if err := r.Register(sc); err != nil {
+			return err
+		}
+	}
+	for _, sc := range IsolationScenarios() {
+		if err := r.Register(sc); err != nil {
+			return err
+		}
+	}
+	for _, a := range attacks {
+		if err := r.Register(aslrSweep(a)); err != nil {
+			return err
+		}
+	}
+	// Canary sweeps only make sense for attacks that smash through a
+	// canary-guarded frame.
+	for _, a := range attacks {
+		switch a.Name {
+		case "stack-smash-inject", "return-to-libc", "rop-chain", "leak-assisted-ret2libc":
+			if err := r.Register(canarySweep(a)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// aslrSweep runs the attack against ASLR alone, with a fresh layout seed
+// every trial. The interesting statistic is the survival rate — for a
+// sound implementation it should be (essentially) zero.
+func aslrSweep(a AttackSpec) harness.Scenario {
+	return harness.Scenario{
+		Name:  "mc/aslr/" + a.Name,
+		Group: "mc-aslr",
+		Meta:  map[string]string{"attack": a.Name, "mitigation": "aslr"},
+		Run: func(t harness.Trial) harness.TrialResult {
+			m := Mitigations{ASLR: true, ASLRSeed: t.Seed}
+			return runTrialCell(a, m)
+		},
+	}
+}
+
+// canarySweep runs the attack against a canary whose secret value is
+// re-drawn every trial (plus DEP, the deployment it ships in).
+func canarySweep(a AttackSpec) harness.Scenario {
+	return harness.Scenario{
+		Name:  "mc/canary/" + a.Name,
+		Group: "mc-canary",
+		Meta:  map[string]string{"attack": a.Name, "mitigation": "canary+dep"},
+		Run: func(t harness.Trial) harness.TrialResult {
+			m := Mitigations{Canary: true, CanarySeed: nonzeroSeed(t.Seed ^ canaryMix), DEP: true}
+			return runTrialCell(a, m)
+		},
+	}
+}
+
+// runTrialCell builds and runs one scenario instance and converts the
+// outcome into harness terms.
+func runTrialCell(a AttackSpec, m Mitigations) harness.TrialResult {
+	s, err := a.Scenario(m)
+	if err != nil {
+		return harness.TrialResult{Err: err}
+	}
+	res, err := Run(s, m)
+	if err != nil {
+		return harness.TrialResult{Err: err}
+	}
+	return harness.TrialResult{
+		Outcome: res.Outcome.String(),
+		Code:    int(res.Outcome),
+		Success: res.Outcome == Compromised,
+	}
+}

@@ -101,22 +101,16 @@ func Fig1() (string, error) {
 	b.WriteString(strings.Repeat("-", 64) + "\n")
 	b.WriteString(Fig1Source + "\n\n")
 
-	// Panel (b): machine code for process().
-	procAddr, _ := p.SymbolAddr("process")
-	reqAddr, _ := p.SymbolAddr("get_request")
-	mainAddr, _ := p.SymbolAddr("main")
-	end := mainAddr // functions are emitted in declaration order
-	if reqAddr > procAddr && reqAddr < end {
-		end = reqAddr
+	// Panel (b): machine code for process(), sized by process()'s own
+	// extent (up to the next text symbol, or the end of text).
+	procAddr, procEnd, err := funcExtent(p, "process")
+	if err != nil {
+		return "", err
 	}
-	// Find the function that follows process() in memory.
-	var next uint32 = 0xFFFFFFFF
-	for _, cand := range []uint32{reqAddr, mainAddr} {
-		if cand > procAddr && cand < next {
-			next = cand
-		}
+	code, ok := p.Mem.PeekRaw(procAddr, int(procEnd-procAddr))
+	if !ok {
+		return "", fmt.Errorf("figures: cannot read process() code [0x%08x, 0x%08x)", procAddr, procEnd)
 	}
-	code, _ := p.Mem.PeekRaw(procAddr, int(next-procAddr))
 	b.WriteString("(b) Machine code for process() function\n")
 	b.WriteString(strings.Repeat("-", 64) + "\n")
 	b.WriteString(isa.Listing(isa.Disassemble(code, procAddr)))
@@ -124,12 +118,21 @@ func Fig1() (string, error) {
 
 	// Panel (c): run into get_request and pause right after its read()
 	// call returned, so the request bytes are sitting in buf — the moment
-	// the paper's snapshot depicts.
+	// the paper's snapshot depicts. The disassembly window is sized by
+	// get_request's own extent: sizing it by process()'s span would lose
+	// the CALL whenever get_request outgrows its neighbour.
+	reqAddr, reqEnd, err := funcExtent(p, "get_request")
+	if err != nil {
+		return "", err
+	}
 	st := p.RunUntil(reqAddr)
 	if st != cpu.Paused {
 		return "", fmt.Errorf("figures: expected to pause at get_request, got %v (%v)", st, p.CPU.Fault())
 	}
-	reqCode, _ := p.Mem.PeekRaw(reqAddr, int(next-procAddr)+64)
+	reqCode, ok := p.Mem.PeekRaw(reqAddr, int(reqEnd-reqAddr))
+	if !ok {
+		return "", fmt.Errorf("figures: cannot read get_request code [0x%08x, 0x%08x)", reqAddr, reqEnd)
+	}
 	afterCall := uint32(0)
 	for _, l := range isa.Disassemble(reqCode, reqAddr) {
 		if !l.Bad && l.Instr.Op == isa.CALL {
@@ -152,6 +155,30 @@ func Fig1() (string, error) {
 	b.WriteString("ADDRESS      CONTENTS     NOTE\n")
 	b.WriteString(renderStack(p, p.CPU.Reg[isa.ESP], 14))
 	return b.String(), nil
+}
+
+// funcExtent returns the loaded address of the named text symbol and the
+// address where the following text symbol (or the end of text) begins —
+// the function's own span, independent of declaration order or of any
+// neighbour's size.
+func funcExtent(p *kernel.Process, name string) (addr, end uint32, err error) {
+	addr, ok := p.SymbolAddr(name)
+	if !ok {
+		return 0, 0, fmt.Errorf("figures: symbol %q missing", name)
+	}
+	end = p.Layout.Text + uint32(len(p.Linked.Text))
+	for _, s := range p.Linked.Symbols {
+		// Only exported symbols delimit functions; local text symbols
+		// are labels *inside* a function (loop heads, canary epilogues)
+		// and must not truncate the span.
+		if s.Section != asm.SecText || !s.Global {
+			continue
+		}
+		if a := p.Layout.Text + s.Off; a > addr && a < end {
+			end = a
+		}
+	}
+	return addr, end, nil
 }
 
 // renderStack dumps n words of stack upward from sp, annotating each like

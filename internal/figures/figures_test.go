@@ -30,6 +30,47 @@ func TestFig1(t *testing.T) {
 	}
 }
 
+// TestFuncExtentCoversWholeFunction is the regression test for the
+// renderer's window bug: the disassembly window for get_request was sized
+// by process()'s span plus 64 bytes, so a get_request longer than that
+// lost its CALL and the renderer failed. funcExtent must report each
+// function's own span.
+func TestFuncExtentCoversWholeFunction(t *testing.T) {
+	p, err := buildFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"get_request", "process", "main"} {
+		addr, end, err := funcExtent(p, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end <= addr {
+			t.Fatalf("%s: empty extent [0x%x, 0x%x)", name, addr, end)
+		}
+		// The span must end exactly at another symbol or at text end —
+		// never beyond it.
+		textEnd := p.Layout.Text + uint32(len(p.Linked.Text))
+		if end > textEnd {
+			t.Fatalf("%s: extent 0x%x past text end 0x%x", name, end, textEnd)
+		}
+	}
+	reqAddr, reqEnd, err := funcExtent(p, "get_request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	procAddr, _, err := funcExtent(p, "process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqEnd != procAddr {
+		t.Fatalf("get_request [0x%x, 0x%x) should end where process 0x%x begins", reqAddr, reqEnd, procAddr)
+	}
+	if _, _, err := funcExtent(p, "no_such_symbol"); err == nil {
+		t.Fatal("missing symbol must be an error, not a zero-length read")
+	}
+}
+
 func TestFig2(t *testing.T) {
 	out, err := Fig2()
 	if err != nil {

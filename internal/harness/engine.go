@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// Trials is the number of independent trials per scenario (min 1).
+	Trials int
+	// Jobs is the worker-pool width; <=0 means runtime.NumCPU(). Jobs
+	// affects wall-clock only, never results: aggregates are identical
+	// for any job count.
+	Jobs int
+	// BaseSeed feeds TrialSeed for every trial.
+	BaseSeed int64
+}
+
+// CellStats aggregates the trials of one scenario.
+type CellStats struct {
+	Scenario    string            `json:"scenario"`
+	Group       string            `json:"group,omitempty"`
+	Meta        map[string]string `json:"meta,omitempty"`
+	Trials      int               `json:"trials"`
+	Successes   int               `json:"successes"`
+	SuccessRate float64           `json:"success_rate"`
+	// Outcomes counts trials per outcome label.
+	Outcomes map[string]int `json:"outcomes"`
+	Errors   int            `json:"errors,omitempty"`
+	// FirstError preserves one diagnostic when trials failed to run.
+	FirstError string `json:"first_error,omitempty"`
+	// Note carries the first trial's detail line, for mechanisms whose
+	// explanation matters as much as the verdict (the T3 table).
+	Note string `json:"note,omitempty"`
+}
+
+// Report is the aggregated result of an engine run. Jobs is deliberately
+// not recorded: the report must be byte-identical across job counts.
+type Report struct {
+	BaseSeed int64       `json:"base_seed"`
+	Trials   int         `json:"trials"`
+	Cells    []CellStats `json:"cells"`
+	// Results holds the raw per-trial results, indexed [scenario][trial]
+	// in the same order as Cells. Excluded from JSON.
+	Results [][]TrialResult `json:"-"`
+}
+
+// Run executes opt.Trials trials of every scenario across a pool of
+// opt.Jobs workers. Every (scenario, trial) pair is an independent unit
+// of work writing into its own result slot, so the aggregate is
+// deterministic regardless of scheduling.
+func Run(scenarios []Scenario, opt Options) *Report {
+	trials := opt.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	jobs := opt.Jobs
+	if jobs < 1 {
+		jobs = runtime.NumCPU()
+	}
+	results := make([][]TrialResult, len(scenarios))
+	for i := range results {
+		results[i] = make([]TrialResult, trials)
+	}
+
+	type unit struct{ si, ti int }
+	work := make(chan unit, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				s := scenarios[u.si]
+				t := Trial{
+					Scenario: s.Name,
+					Index:    u.ti,
+					Seed:     TrialSeed(opt.BaseSeed, s.Name, u.ti),
+				}
+				results[u.si][u.ti] = runTrial(s, t)
+			}
+		}()
+	}
+	for si := range scenarios {
+		for ti := 0; ti < trials; ti++ {
+			work <- unit{si, ti}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	rep := &Report{BaseSeed: opt.BaseSeed, Trials: trials, Results: results}
+	for si, s := range scenarios {
+		c := CellStats{
+			Scenario: s.Name,
+			Group:    s.Group,
+			Meta:     s.Meta,
+			Trials:   trials,
+			Outcomes: make(map[string]int),
+		}
+		for _, r := range results[si] {
+			if r.Err != nil {
+				c.Errors++
+				if c.FirstError == "" {
+					c.FirstError = r.Err.Error()
+				}
+				continue
+			}
+			c.Outcomes[r.Outcome]++
+			if r.Success {
+				c.Successes++
+			}
+			if c.Note == "" {
+				c.Note = r.Detail
+			}
+		}
+		if ran := trials - c.Errors; ran > 0 {
+			c.SuccessRate = float64(c.Successes) / float64(ran)
+		}
+		rep.Cells = append(rep.Cells, c)
+	}
+	return rep
+}
+
+// runTrial invokes the scenario, converting a panic into an error result
+// so one bad cell cannot take down a 10k-trial sweep.
+func runTrial(s Scenario, t Trial) (res TrialResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = TrialResult{Err: fmt.Errorf("harness: scenario %s trial %d panicked: %v", t.Scenario, t.Index, p)}
+		}
+	}()
+	return s.Run(t)
+}
+
+// JSON renders the report with stable formatting (map keys are sorted by
+// encoding/json), suitable for byte-for-byte comparison across job
+// counts.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the report as an aligned success-rate table.
+func (r *Report) Render() string {
+	w := len("scenario")
+	for _, c := range r.Cells {
+		if len(c.Scenario) > w {
+			w = len(c.Scenario)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %7s  %9s  %s\n", w, "scenario", "trials", "success", "outcomes")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-*s  %7d  %8.1f%%  %s\n",
+			w, c.Scenario, c.Trials, 100*c.SuccessRate, renderOutcomes(c))
+	}
+	return b.String()
+}
+
+func renderOutcomes(c CellStats) string {
+	keys := make([]string, 0, len(c.Outcomes))
+	for k := range c.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, c.Outcomes[k]))
+	}
+	if c.Errors > 0 {
+		parts = append(parts, fmt.Sprintf("ERROR:%d (%s)", c.Errors, c.FirstError))
+	}
+	return strings.Join(parts, " ")
+}

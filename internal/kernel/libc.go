@@ -1,6 +1,10 @@
 package kernel
 
-import "softsec/internal/asm"
+import (
+	"sync"
+
+	"softsec/internal/asm"
+)
 
 // libcSource is the C runtime every program links against: process startup,
 // syscall wrappers, a bump-pointer malloc with the classic no-op free, and
@@ -269,8 +273,23 @@ __newline:
 	.asciz "\n"
 `
 
+var (
+	libcOnce sync.Once
+	libcImg  *asm.Image
+)
+
 // Libc assembles and returns the C runtime image. Every program image
 // should be linked with it (it provides _start and the syscall wrappers).
+//
+// The image is assembled once and shared: Link only reads its inputs
+// (sections are appended into fresh slices, symbols copied into the
+// merged table) and the loader copies bytes into process memory, so a
+// single *asm.Image can back any number of concurrent links and loads.
+// Callers must treat the returned image as immutable — a harness sweep
+// runs thousands of trials against this one copy.
 func Libc() *asm.Image {
-	return asm.MustAssemble("libc", libcSource)
+	libcOnce.Do(func() {
+		libcImg = asm.MustAssemble("libc", libcSource)
+	})
+	return libcImg
 }

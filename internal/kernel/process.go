@@ -70,6 +70,11 @@ type InputSource interface {
 }
 
 // ScriptInput replays a fixed sequence of chunks, one per read() call.
+//
+// NextInput consumes the receiver: after a run the script is empty, and
+// feeding the same *ScriptInput to a second process replays nothing. Use
+// Clone to give each run its own cursor (the loader does this for
+// Config.Input automatically).
 type ScriptInput [][]byte
 
 // NextInput implements InputSource.
@@ -83,6 +88,29 @@ func (s *ScriptInput) NextInput(max int, _ []byte) []byte {
 		chunk = chunk[:max]
 	}
 	return chunk
+}
+
+// Clone returns an independent replay cursor over the same chunks. The
+// chunk contents are shared (NextInput only re-slices, never writes), so
+// a clone is cheap even for large payloads.
+func (s *ScriptInput) Clone() *ScriptInput {
+	cp := make(ScriptInput, len(*s))
+	copy(cp, *s)
+	return &cp
+}
+
+// CloneInput implements the optional cloning contract used by CloneInput.
+func (s *ScriptInput) CloneInput() InputSource { return s.Clone() }
+
+// CloneInput returns an independent cursor over src when the source
+// supports cloning (ScriptInput does), and src itself otherwise.
+// Harnesses that re-run a scenario call this once per trial so a consumed
+// script from trial N cannot silently starve trial N+1.
+func CloneInput(src InputSource) InputSource {
+	if c, ok := src.(interface{ CloneInput() InputSource }); ok {
+		return c.CloneInput()
+	}
+	return src
 }
 
 // InputFunc adapts a function to InputSource.
@@ -205,11 +233,30 @@ func pageCeil(n uint32) uint32 {
 	return (n + mem.PageSize - 1) &^ uint32(mem.PageSize-1)
 }
 
-// Load builds a runnable process from a linked program.
+// layoutFits reports whether the drawn bases keep the segments disjoint:
+// text below data, data below heap. (The stack lives gigabytes above all
+// three; its randomization window cannot collide.)
+func layoutFits(l Layout, ld *Linked) bool {
+	textEnd := l.Text + pageCeil(uint32(len(ld.Text))+1)
+	dataEnd := l.Data + pageCeil(uint32(len(ld.Data))+1)
+	return textEnd <= l.Data && dataEnd <= l.Heap
+}
+
+// Load builds a runnable process from a linked program. The input source
+// is cloned when it supports cloning, so the caller's script survives the
+// run and can seed further processes.
 func Load(ld *Linked, cfg Config) (*Process, error) {
+	cfg.Input = CloneInput(cfg.Input)
 	layout := NominalLayout()
 	if cfg.ASLR {
-		layout = RandomizedLayout(rand.New(rand.NewSource(cfg.ASLRSeed)))
+		// Like a real kernel, redraw until the randomized bases do not
+		// collide. The rng is seeded from ASLRSeed, so the accepted
+		// layout — including any redraws — is deterministic per seed.
+		rng := rand.New(rand.NewSource(cfg.ASLRSeed))
+		layout = RandomizedLayout(rng)
+		for i := 0; i < 64 && !layoutFits(layout, ld); i++ {
+			layout = RandomizedLayout(rng)
+		}
 	}
 	m := mem.New()
 
