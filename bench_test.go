@@ -18,6 +18,7 @@ import (
 	"softsec/internal/core"
 	"softsec/internal/cpu"
 	"softsec/internal/figures"
+	"softsec/internal/fuzz"
 	"softsec/internal/harness"
 	"softsec/internal/kernel"
 	"softsec/internal/mem"
@@ -383,6 +384,91 @@ func BenchmarkTrialThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 		})
 	}
+}
+
+// --- fuzzing subsystem: process resets and campaign throughput ----------
+
+// quickstartVictim is the quickstart example's vulnerable server — the
+// reference workload for the snapshot-vs-reload comparison.
+const quickstartVictim = `
+void main() {
+	char buf[16];
+	read(0, buf, 64); // spatial memory-safety vulnerability
+	write(1, buf, 5);
+}`
+
+func quickstartLinked(b *testing.B) *kernel.Linked {
+	b.Helper()
+	img, err := minc.Compile("victim", quickstartVictim, minc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ld
+}
+
+// BenchmarkSnapshotRestore measures one process reset on the fuzzing
+// fast path: run the quickstart victim to completion, then Restore to
+// the post-Load snapshot. Compare with BenchmarkFullReload, the same
+// reset done the pre-snapshot way — the ratio is the speedup that makes
+// fuzz campaigns feasible.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	ld := quickstartLinked(b)
+	in := kernel.ScriptInput{[]byte("hello")}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true, Input: &in})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := p.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+		if err := p.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullReload is the baseline reset: a fresh kernel.Load per
+// execution (link amortized, as a harness would).
+func BenchmarkFullReload(b *testing.B) {
+	ld := quickstartLinked(b)
+	in := kernel.ScriptInput{[]byte("hello")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := kernel.Load(ld, kernel.Config{DEP: true, Input: &in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+	}
+}
+
+// BenchmarkFuzzExecsPerSec measures end-to-end fuzzing throughput:
+// mutate, reset, execute, classify, admit — the number every campaign
+// cell's wall-clock hangs on.
+func BenchmarkFuzzExecsPerSec(b *testing.B) {
+	c, err := fuzz.New(fuzz.Config{
+		Name: "echo", Source: quickstartVictim, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := c.Fuzz(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
 }
 
 func BenchmarkT3IsolationMatrix(b *testing.B) {

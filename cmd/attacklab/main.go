@@ -13,6 +13,14 @@
 //
 //	attacklab -trials 256 -jobs 8
 //	attacklab -group mc-aslr -trials 1000 -json
+//
+// The fuzz group runs coverage-guided fuzzing campaigns (internal/fuzz)
+// instead of replaying hand-written exploits: each trial is a complete
+// deterministic campaign, and the cells measure discovery cost per
+// mitigation stack.
+//
+//	attacklab -group fuzz -scenarios     # list the campaign cells
+//	attacklab -group fuzz -trials 4 -jobs 2
 package main
 
 import (
@@ -30,7 +38,7 @@ func main() {
 		machine   = flag.Bool("machine", false, "run the machine-code attacker (T3) matrix")
 		list      = flag.Bool("list", false, "list the attack catalog")
 		scenarios = flag.Bool("scenarios", false, "list every registered harness scenario")
-		group     = flag.String("group", "", "restrict the sweep to one scenario group (t1, t3, mc-aslr, mc-canary)")
+		group     = flag.String("group", "", "restrict the sweep to one scenario group (t1, t3, mc-aslr, mc-canary, fuzz)")
 		trials    = flag.Int("trials", 1, "independent trials per cell")
 		jobs      = flag.Int("jobs", runtime.NumCPU(), "worker-pool width")
 		seed      = flag.Int64("seed", 0, "base seed for per-trial seed derivation")
@@ -51,7 +59,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *scenarios {
-		for _, s := range reg.All() {
+		scens := reg.All()
+		if *group != "" {
+			scens = reg.Group(*group)
+			if len(scens) == 0 {
+				fmt.Fprintf(os.Stderr, "attacklab: no scenarios in group %q (try -scenarios)\n", *group)
+				os.Exit(2)
+			}
+		}
+		for _, s := range scens {
 			fmt.Printf("%-44s group=%s\n", s.Name, s.Group)
 		}
 		return

@@ -13,6 +13,12 @@
 //
 //	secsim -attack stack-smash-inject -aslr -trials 256 -jobs 8
 //	secsim -attack rop-chain -canary -dep -trials 1000 -json
+//
+// Any registered harness scenario — including the fuzz/ campaign cells —
+// can be swept directly by name:
+//
+//	secsim -scenario fuzz/echo/none -trials 4 -jobs 2
+//	secsim -scenario mc/aslr/rop-chain -trials 256 -json
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 func main() {
 	var (
 		name    = flag.String("attack", "stack-smash-inject", "attack name (see attacklab -list)")
+		scen    = flag.String("scenario", "", "sweep a registered harness scenario by name (see attacklab -scenarios); the cell's config is baked in, so -attack and the mitigation flags are ignored")
 		canary  = flag.Bool("canary", false, "stack canaries")
 		dep     = flag.Bool("dep", false, "Data Execution Prevention")
 		aslr    = flag.Bool("aslr", false, "ASLR")
@@ -39,6 +46,23 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the aggregate report as JSON")
 	)
 	flag.Parse()
+
+	if *scen != "" {
+		// A registered scenario bakes in its own victim and mitigation
+		// config; refuse silently-ignored flags rather than sweep a
+		// configuration the user did not ask for.
+		for _, conflicting := range []struct {
+			set  bool
+			name string
+		}{{*canary, "-canary"}, {*dep, "-dep"}, {*aslr, "-aslr"}, {*checked, "-checked"}} {
+			if conflicting.set {
+				fmt.Fprintf(os.Stderr, "secsim: %s has no effect with -scenario (the cell's mitigation config is baked in)\n", conflicting.name)
+				os.Exit(2)
+			}
+		}
+		runScenario(*scen, *trials, *jobs, *seed, *asJSON)
+		return
+	}
 
 	var spec *core.AttackSpec
 	for _, a := range core.Attacks() {
@@ -90,6 +114,37 @@ func main() {
 	}
 	if res.Outcome == core.Compromised {
 		os.Exit(1)
+	}
+}
+
+// runScenario sweeps one registered harness scenario by name — the
+// generic driver for cells that are not plain (attack, mitigation)
+// pairs, like the fuzz/ campaign cells.
+func runScenario(name string, trials, jobs int, baseSeed int64, asJSON bool) {
+	reg := harness.NewRegistry()
+	if err := core.RegisterScenarios(reg); err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(1)
+	}
+	sc, ok := reg.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "secsim: unknown scenario %q (try attacklab -scenarios)\n", name)
+		os.Exit(2)
+	}
+	rep := harness.Run([]harness.Scenario{sc},
+		harness.Options{Trials: trials, Jobs: jobs, BaseSeed: baseSeed})
+	if asJSON {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secsim:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+	fmt.Print(rep.Render())
+	if c := rep.Cells[0]; c.Note != "" {
+		fmt.Printf("note: %s\n", c.Note)
 	}
 }
 

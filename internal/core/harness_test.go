@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"softsec/internal/fuzz"
 	"softsec/internal/harness"
 )
 
@@ -27,6 +28,12 @@ func TestRegisterScenariosCatalog(t *testing.T) {
 	}
 	if _, ok := r.Lookup("t1/rop-chain/canary+dep+aslr"); !ok {
 		t.Fatal("expected cell name missing — naming scheme changed?")
+	}
+	if got, want := len(r.Group("fuzz")), len(fuzz.Scenarios()); got != want || got == 0 {
+		t.Fatalf("fuzz cells %d, want %d (all campaign cells registered)", got, want)
+	}
+	if _, ok := r.Lookup("fuzz/echo/none"); !ok {
+		t.Fatal("fuzz campaign cell name missing — naming scheme changed?")
 	}
 	// Registering twice must fail loudly, not silently double the catalog.
 	if err := RegisterScenarios(r); err == nil {

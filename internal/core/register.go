@@ -1,6 +1,7 @@
 package core
 
 import (
+	"softsec/internal/fuzz"
 	"softsec/internal/harness"
 )
 
@@ -16,7 +17,12 @@ import (
 //     "probabilistic countermeasure" claim is a statement about exactly
 //     this distribution);
 //   - mc/canary/<attack> — Monte-Carlo canary sweeps: a fresh secret
-//     canary value every trial against the smashing attacks.
+//     canary value every trial against the smashing attacks;
+//   - fuzz/<victim>/<mitigation> — coverage-guided fuzzing campaigns
+//     (internal/fuzz): each trial is an independent deterministic
+//     campaign, and the cell measures how hard the mitigation stack
+//     makes it to *discover* a crashing input, not whether a known
+//     exploit works.
 func RegisterScenarios(r *harness.Registry) error {
 	attacks := Attacks()
 	for _, sc := range T1Scenarios(attacks, StandardConfigs(), true) {
@@ -42,6 +48,11 @@ func RegisterScenarios(r *harness.Registry) error {
 			if err := r.Register(canarySweep(a)); err != nil {
 				return err
 			}
+		}
+	}
+	for _, sc := range fuzz.Scenarios() {
+		if err := r.Register(sc); err != nil {
+			return err
 		}
 	}
 	return nil

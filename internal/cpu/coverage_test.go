@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"testing"
+
+	"softsec/internal/asm"
+	"softsec/internal/mem"
+)
+
+func TestCoverageBitmapOps(t *testing.T) {
+	var a, b Coverage
+	if a.Count() != 0 {
+		t.Fatalf("empty map count = %d", a.Count())
+	}
+	a.Edge(0x1000, 0x2000)
+	a.Edge(0x1000, 0x2000) // same edge: idempotent
+	a.Edge(0x2000, 0x1000) // reversed edge must be distinct
+	if a.Count() != 2 {
+		t.Fatalf("count = %d, want 2", a.Count())
+	}
+	if n := a.NewBits(&b); n != 2 {
+		t.Fatalf("NewBits vs empty = %d, want 2", n)
+	}
+	if n := a.MergeInto(&b); n != 2 || b.Count() != 2 {
+		t.Fatalf("MergeInto = %d, b.Count = %d", n, b.Count())
+	}
+	if n := a.NewBits(&b); n != 0 {
+		t.Fatalf("NewBits after merge = %d, want 0", n)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.NewBits(&b) != 0 {
+		t.Fatalf("Reset left bits behind")
+	}
+}
+
+// covCPU builds a bare machine running a conditional-branch loop.
+func covCPU(t *testing.T) *CPU {
+	t.Helper()
+	img := asm.MustAssemble("cov", `
+	.text
+	.global main
+main:
+	mov esi, 0
+loop:
+	add esi, 1
+	cmp esi, 5
+	jb loop
+	hlt
+`)
+	m := mem.New()
+	if err := m.Map(0x1000, mem.PageSize, mem.RX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadRaw(0x1000, img.Text); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	c.IP = 0x1000
+	return c
+}
+
+func TestCPURecordsBranchEdges(t *testing.T) {
+	c := covCPU(t)
+	var cov Coverage
+	c.Coverage = &cov
+	if st := c.Run(1000); st != Halted {
+		t.Fatalf("state %v fault %v", st, c.Fault())
+	}
+	// The loop has exactly two distinct branch edges: JB taken (back to
+	// loop) and JB not taken (fall-through to HLT). Straight-line
+	// retirement contributes nothing.
+	if cov.Count() != 2 {
+		t.Fatalf("edges = %d, want 2 (taken + not-taken)", cov.Count())
+	}
+}
+
+func TestCoverageDoesNotPerturbExecution(t *testing.T) {
+	plain := covCPU(t)
+	inst := covCPU(t)
+	var cov Coverage
+	inst.Coverage = &cov
+	stP, stI := plain.Run(1000), inst.Run(1000)
+	if stP != stI || plain.Steps != inst.Steps || plain.Reg != inst.Reg {
+		t.Fatalf("instrumented run diverged: %v/%d vs %v/%d", stP, plain.Steps, stI, inst.Steps)
+	}
+}
+
+func TestArchStateRoundTrip(t *testing.T) {
+	c := covCPU(t)
+	c.ShadowStack = true
+	snap := c.SaveArch()
+	if st := c.Run(1000); st != Halted {
+		t.Fatalf("state %v", st)
+	}
+	c.RestoreArch(snap)
+	if c.StateOf() != Running || c.IP != 0x1000 || c.Steps != 0 || c.Reg[0] != 0 {
+		t.Fatalf("arch restore incomplete: state=%v ip=%#x steps=%d", c.StateOf(), c.IP, c.Steps)
+	}
+	// Re-run must retire the identical instruction count.
+	first := covCPU(t)
+	first.Run(1000)
+	if st := c.Run(1000); st != Halted || c.Steps != first.Steps {
+		t.Fatalf("rerun after restore diverged: %v steps=%d want %d", st, c.Steps, first.Steps)
+	}
+}

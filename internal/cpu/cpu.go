@@ -204,6 +204,10 @@ type CPU struct {
 
 	// Policy, when non-nil, is consulted on every access (see Policy).
 	Policy Policy
+	// Coverage, when non-nil, records every branch edge (see coverage.go).
+	// Like Policy, a nil Coverage costs the branch path one untaken
+	// conditional and the straight-line path nothing.
+	Coverage *Coverage
 	// Handler services INT instructions.
 	Handler TrapHandler
 	// Tracer, when non-nil, observes every instruction before execution.
@@ -465,6 +469,17 @@ func (c *CPU) transfer(from, to uint32) bool {
 	return true
 }
 
+// branch is transfer for control-flow instructions (CALL/RET/JMP and
+// conditional jumps, both outcomes): the edge is recorded in the
+// installed Coverage map before the policy sees the transfer, so even a
+// policy-denied target counts as an explored edge.
+func (c *CPU) branch(from, to uint32) bool {
+	if c.Coverage != nil {
+		c.Coverage.Edge(from, to)
+	}
+	return c.transfer(from, to)
+}
+
 // Step executes one instruction. It returns true while the CPU remains
 // Running.
 func (c *CPU) Step() bool {
@@ -640,7 +655,7 @@ func (c *CPU) Step() bool {
 			c.shadow = append(c.shadow, next)
 		}
 		c.Steps++
-		return c.transfer(ip, next+in.Imm)
+		return c.branch(ip, next+in.Imm)
 	case isa.CALLR:
 		if !c.Push(next) {
 			return false
@@ -649,7 +664,7 @@ func (c *CPU) Step() bool {
 			c.shadow = append(c.shadow, next)
 		}
 		c.Steps++
-		return c.transfer(ip, r[in.Rd])
+		return c.branch(ip, r[in.Rd])
 	case isa.RET:
 		// Pops whatever word is on top of the stack into the
 		// instruction pointer — the mechanism stack smashing abuses.
@@ -671,20 +686,20 @@ func (c *CPU) Step() bool {
 				return false
 			}
 		}
-		return c.transfer(ip, v)
+		return c.branch(ip, v)
 	case isa.JMP:
 		c.Steps++
-		return c.transfer(ip, next+in.Imm)
+		return c.branch(ip, next+in.Imm)
 	case isa.JMPR:
 		c.Steps++
-		return c.transfer(ip, r[in.Rd])
+		return c.branch(ip, r[in.Rd])
 	case isa.JZ, isa.JNZ, isa.JL, isa.JG, isa.JLE, isa.JGE, isa.JB, isa.JA,
 		isa.JAE, isa.JBE:
 		c.Steps++
 		if c.cond(in.Op) {
-			return c.transfer(ip, next+in.Imm)
+			return c.branch(ip, next+in.Imm)
 		}
-		return c.transfer(ip, next)
+		return c.branch(ip, next)
 	case isa.INT:
 		c.Steps++
 		if in.Imm == 0x29 {

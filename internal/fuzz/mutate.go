@@ -1,0 +1,180 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+
+	"softsec/internal/asm"
+	"softsec/internal/attack"
+	"softsec/internal/kernel"
+)
+
+var le = binary.LittleEndian
+
+// buildDictionary scrapes address-shaped words out of the loaded victim,
+// the way a campaign operator seeds a fuzzer with target intelligence:
+//
+//   - RET-gadget addresses mined from the loaded text by the
+//     internal/attack gadget finder (the words a code-reuse payload is
+//     made of — planting one where a return address lives is how a
+//     mutation crosses from "crash" to "hijack");
+//   - every linked global symbol's loaded address (spawn_shell, puts,
+//     syscall3, ... — the return-to-libc targets);
+//   - layout landmarks and the classic interesting integers.
+//
+// All words are little-endian uint32, the unit the mutators splice. The
+// dictionary is deterministic: gadget order follows the text scan and
+// symbols are walked in sorted-name order (Linked.Symbols is a map).
+func buildDictionary(p *kernel.Process) [][]byte {
+	word := func(v uint32) []byte {
+		b := make([]byte, 4)
+		le.PutUint32(b, v)
+		return b
+	}
+	var dict [][]byte
+
+	text, ok := p.Mem.PeekRaw(p.Layout.Text, len(p.Linked.Text))
+	if ok {
+		gs := attack.FindGadgets(text, p.Layout.Text, 4)
+		const maxGadgets = 48
+		stride := 1
+		if len(gs) > maxGadgets {
+			stride = len(gs) / maxGadgets
+		}
+		for i := 0; i < len(gs); i += stride {
+			dict = append(dict, word(gs[i].Addr))
+		}
+	}
+
+	names := make([]string, 0, len(p.Linked.Symbols))
+	for n := range p.Linked.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := p.Linked.Symbols[n]
+		if !s.Global {
+			continue
+		}
+		base := p.Layout.Text
+		if s.Section != asm.SecText {
+			base = p.Layout.Data
+		}
+		dict = append(dict, word(base+s.Off))
+	}
+
+	for _, v := range []uint32{
+		0, 1, 16, 64, 127, 128, 255, 4096,
+		0x7fffffff, 0x80000000, 0xffffffff,
+		p.Layout.Text, p.Layout.Data, p.Layout.Heap,
+		p.Layout.StackTop, p.Layout.StackTop - 32,
+	} {
+		dict = append(dict, word(v))
+	}
+	return dict
+}
+
+// mutator owns the mutation operator set. All randomness flows through
+// the rng argument so the campaign PRNG is the single source of
+// nondeterminism (and therefore of determinism).
+type mutator struct {
+	dict     [][]byte
+	maxInput int
+}
+
+func newMutator(dict [][]byte, maxInput int) mutator {
+	return mutator{dict: dict, maxInput: maxInput}
+}
+
+// interesting8 are the classic boundary bytes.
+var interesting8 = []byte{0, 1, 16, 32, 64, 100, 127, 128, 255}
+
+// fresh synthesizes an input from nothing (used only when every seed
+// crashed and the corpus is empty).
+func (mu mutator) fresh(rng *rand.Rand) []byte {
+	n := 4 + rng.Intn(29)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+// mutate derives a new input from base, optionally splicing with other
+// (a second corpus entry). It stacks 1-4 operators, AFL-havoc style.
+func (mu mutator) mutate(rng *rand.Rand, base, other []byte) []byte {
+	out := append([]byte(nil), base...)
+	for n := 1 + rng.Intn(4); n > 0; n-- {
+		out = mu.apply(rng, out, other)
+	}
+	if len(out) == 0 {
+		out = []byte{byte(rng.Intn(256))}
+	}
+	if len(out) > mu.maxInput {
+		out = out[:mu.maxInput]
+	}
+	return out
+}
+
+func (mu mutator) apply(rng *rand.Rand, b, other []byte) []byte {
+	switch op := rng.Intn(9); op {
+	case 0: // flip one bit
+		if len(b) > 0 {
+			i := rng.Intn(len(b))
+			b[i] ^= 1 << uint(rng.Intn(8))
+		}
+	case 1: // random byte
+		if len(b) > 0 {
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+		}
+	case 2: // interesting byte
+		if len(b) > 0 {
+			b[rng.Intn(len(b))] = interesting8[rng.Intn(len(interesting8))]
+		}
+	case 3: // overwrite 4 bytes with a dictionary word
+		if len(mu.dict) > 0 {
+			w := mu.dict[rng.Intn(len(mu.dict))]
+			pos := rng.Intn(len(b) + 1)
+			if pos+4 > len(b) {
+				b = append(b[:pos], w...)
+			} else {
+				copy(b[pos:], w)
+			}
+		}
+	case 4: // insert a dictionary word (grows)
+		if len(mu.dict) > 0 {
+			w := mu.dict[rng.Intn(len(mu.dict))]
+			pos := rng.Intn(len(b) + 1)
+			b = append(b[:pos], append(append([]byte(nil), w...), b[pos:]...)...)
+		}
+	case 5: // insert a run of filler bytes (grows — how overflows happen)
+		n := 1 + rng.Intn(32)
+		v := byte(rng.Intn(256))
+		pos := rng.Intn(len(b) + 1)
+		run := make([]byte, n)
+		for i := range run {
+			run[i] = v
+		}
+		b = append(b[:pos], append(run, b[pos:]...)...)
+	case 6: // duplicate a chunk (grows)
+		if len(b) > 0 {
+			start := rng.Intn(len(b))
+			n := 1 + rng.Intn(len(b)-start)
+			chunk := append([]byte(nil), b[start:start+n]...)
+			pos := rng.Intn(len(b) + 1)
+			b = append(b[:pos], append(chunk, b[pos:]...)...)
+		}
+	case 7: // truncate (shrinks)
+		if len(b) > 1 {
+			b = b[:1+rng.Intn(len(b)-1)]
+		}
+	case 8: // splice with another corpus entry
+		if len(other) > 0 {
+			cut := rng.Intn(len(b) + 1)
+			tail := other[rng.Intn(len(other)):]
+			b = append(b[:cut], append([]byte(nil), tail...)...)
+		}
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package fuzz
+
+import (
+	"softsec/internal/harness"
+)
+
+// Harness integration: every (victim, mitigation stack) pair is one
+// campaign cell, registered under group "fuzz". A trial is a complete
+// independent campaign whose Seed is the trial seed, so the standard
+// harness determinism contract holds: the sweep's aggregate (and JSON)
+// is byte-identical for -jobs 1 and -jobs N, and a cell's success rate
+// reads as "fraction of campaigns that discovered a crash or exploit
+// within the budget".
+
+// Fuzzing victims. These mirror the shapes of the core attack catalog
+// (the package is deliberately independent of internal/core, which
+// imports this one), but from the fuzzer's perspective: no hand-written
+// payload, just a program with a reachable bug.
+
+// fuzzVictimEcho is the Figure 1 echo server bug: read 128 bytes into a
+// 16-byte stack buffer. Any sufficiently long input smashes the frame.
+const fuzzVictimEcho = `
+void main() {
+	char buf[16];
+	read(0, buf, 128); // spatial vulnerability: buf holds only 16
+	write(1, buf, 4);
+}`
+
+// fuzzVictimArbWrite is the attacker-indexed array write: idx and val
+// both come from input, so mutated word pairs write all over the space.
+const fuzzVictimArbWrite = `
+void main() {
+	int v[4];
+	int idx = 0;
+	int val = 0;
+	while (read(0, &idx, 4) == 4) {
+		if (read(0, &val, 4) != 4) return;
+		v[idx] = val; // unchecked attacker-controlled index
+	}
+	puts("bye");
+}`
+
+// fuzzVictimFnPtr keeps a function pointer above an overflowable static
+// buffer; the later indirect call runs whatever the overflow planted.
+const fuzzVictimFnPtr = `
+char name[16];
+int *handler;
+
+int greet() {
+	write(1, "hi ", 3);
+	return 0;
+}
+void main() {
+	handler = greet;
+	read(0, name, 24); // overflows into handler
+	int *f = handler;
+	f(); // control-flow hijack point
+}`
+
+// CampaignSpec names one fuzzable victim.
+type CampaignSpec struct {
+	Name   string
+	Source string
+}
+
+// Victims is the catalog of fuzzing victims.
+func Victims() []CampaignSpec {
+	return []CampaignSpec{
+		{Name: "echo", Source: fuzzVictimEcho},
+		{Name: "arbwrite", Source: fuzzVictimArbWrite},
+		{Name: "fnptr", Source: fuzzVictimFnPtr},
+	}
+}
+
+// mitConfig is one deployed mitigation stack for the campaign grid.
+type mitConfig struct {
+	canary, dep, aslr, shadow bool
+}
+
+func campaignConfigs() []mitConfig {
+	return []mitConfig{
+		{},                        // none
+		{canary: true},            // canary
+		{dep: true},               // dep
+		{canary: true, dep: true}, // canary+dep
+		{dep: true, shadow: true}, // dep+shadowstack
+	}
+}
+
+// ScenarioExecs is the per-trial campaign budget used by the registered
+// scenarios: small enough for CI sweeps, large enough that the seeded
+// stack smash is found reliably on the unmitigated configs.
+const ScenarioExecs = 1500
+
+// Scenarios returns the fuzz campaign cells for harness registration
+// (core.RegisterScenarios includes them under group "fuzz").
+func Scenarios() []harness.Scenario {
+	var out []harness.Scenario
+	for _, v := range Victims() {
+		for _, mc := range campaignConfigs() {
+			cfg := Config{
+				Name:        v.Name,
+				Source:      v.Source,
+				Canary:      mc.canary,
+				DEP:         mc.dep,
+				ASLR:        mc.aslr,
+				ShadowStack: mc.shadow,
+				MaxExecs:    ScenarioExecs,
+			}
+			out = append(out, harness.Scenario{
+				Name:  "fuzz/" + v.Name + "/" + cfg.MitLabel(),
+				Group: "fuzz",
+				Meta: map[string]string{
+					"victim":     v.Name,
+					"mitigation": cfg.MitLabel(),
+					"workload":   "fuzz-campaign",
+				},
+				Run: campaignTrial(cfg),
+			})
+		}
+	}
+	return out
+}
+
+// campaignTrial adapts one campaign config to a harness RunFunc: the
+// trial seed becomes the campaign seed, and the discovery outcome maps
+// to the harness outcome vocabulary.
+func campaignTrial(cfg Config) harness.RunFunc {
+	return func(t harness.Trial) harness.TrialResult {
+		c := cfg
+		c.Seed = t.Seed
+		res, err := Run(c)
+		if err != nil {
+			return harness.TrialResult{Err: err}
+		}
+		// Severity order: exploit > crash > detected > none. Success
+		// means the campaign discovered an input that crashes or
+		// exploits the victim — the fuzz-discovery cost the cell
+		// measures.
+		outcome, code, success := "no-findings", 0, false
+		switch {
+		case res.Exploits > 0:
+			outcome, code, success = "found-exploit", 3, true
+		case res.Crashes > 0:
+			outcome, code, success = "found-crash", 2, true
+		case res.Detections > 0:
+			outcome, code = "detected-only", 1
+		}
+		return harness.TrialResult{
+			Outcome: outcome,
+			Code:    code,
+			Success: success,
+			Detail:  res.Summary(),
+		}
+	}
+}

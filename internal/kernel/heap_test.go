@@ -170,3 +170,27 @@ int main() {
 		t.Fatalf("got %d want %d", got, 7350%251)
 	}
 }
+
+// TestMallocHeapCapReturnsNull: an allocation beyond MaxHeapBytes must
+// come back as NULL (sbrk's -ENOMEM checked inside malloc), not as an
+// errno value the caller then dereferences as an address. The cap made
+// allocation failure a common outcome under fuzzing — libc has to
+// survive it with libc semantics.
+func TestMallocHeapCapReturnsNull(t *testing.T) {
+	got := exitC(t, `
+int main() {
+	int *big = malloc(100000000);
+	if (big) return 1;
+	int *small = malloc(16);
+	if (small) {
+		small[0] = 7;
+		return small[0];
+	}
+	return 2;
+}`)
+	// The oversized request fails, and the allocator still serves normal
+	// requests afterwards.
+	if got != 7 {
+		t.Fatalf("got exit %d, want 7 (NULL for oversized, live heap after)", got)
+	}
+}

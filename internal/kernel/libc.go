@@ -101,8 +101,14 @@ mfresh:
 	add ebx, 4          ; header + payload
 	mov eax, 5
 	int 0x80            ; sbrk
+	cmp eax, 0
+	jl mfail            ; sbrk returned -ENOMEM (heap cap): malloc -> NULL
 	storew [eax], edx   ; write the size header
 	add eax, 4
+	leave
+	ret
+mfail:
+	mov eax, 0
 	leave
 	ret
 

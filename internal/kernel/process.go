@@ -146,6 +146,10 @@ type Config struct {
 	Input InputSource
 	// MaxSteps bounds execution; zero means DefaultMaxSteps.
 	MaxSteps uint64
+	// MaxHeap caps the heap segment in bytes (RLIMIT_DATA); zero means
+	// MaxHeapBytes. Fuzz campaigns set a tight cap so junk executions
+	// cannot churn tens of megabytes of pages per run.
+	MaxHeap uint32
 	// TraceSyscalls records a line per syscall in Process.SyscallLog.
 	TraceSyscalls bool
 }
@@ -358,13 +362,26 @@ func (p *Process) RunUntil(addr uint32) cpu.State {
 	return st
 }
 
+// MaxHeapBytes caps the heap segment, like RLIMIT_DATA: Sbrk beyond it
+// fails with ENOMEM instead of mapping gigabytes. Keeps runaway
+// allocation loops (and fuzzed junk code requesting absurd breaks)
+// bounded.
+const MaxHeapBytes = uint32(64 << 20)
+
 // Sbrk grows the heap by n bytes (page-rounded) and returns the old break.
 func (p *Process) Sbrk(n uint32) (uint32, error) {
 	old := p.brk
 	if n == 0 {
 		return old, nil
 	}
+	limit := p.Config.MaxHeap
+	if limit == 0 {
+		limit = MaxHeapBytes
+	}
 	newBrk := old + n
+	if newBrk < old || newBrk-p.Layout.Heap > limit {
+		return 0, fmt.Errorf("kernel: sbrk(%d): heap limit exceeded", n)
+	}
 	oldCeil := pageCeil(old)
 	newCeil := pageCeil(newBrk)
 	if newCeil > oldCeil {

@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"fmt"
+	"maps"
+
+	"softsec/internal/cpu"
+	"softsec/internal/mem"
+)
+
+// Process snapshot/restore: checkpoint a loaded process once, then reset
+// it per execution instead of re-linking and re-loading. A restore costs
+// time proportional to the pages and kernel state the last run touched
+// (see mem.Checkpoint), which is what makes thousands-of-executions-per-
+// second fuzzing campaigns feasible on top of the interpreter fast path.
+
+// Snapshot is a checkpoint of a Process taken by Process.Snapshot.
+type Snapshot struct {
+	cp     *mem.Checkpoint
+	arch   cpu.ArchState
+	brk    uint32
+	canary uint32
+	allocs map[uint32]uint32
+	output []byte
+	log    []string
+	input  InputSource
+}
+
+// Snapshot checkpoints the process: memory (content, permissions and
+// mappings), CPU architectural state (registers, flags, shadow stack,
+// step counter), and kernel-side state (heap break, allocation registry,
+// output buffer, syscall log, input cursor). Taking a snapshot abandons
+// any previous snapshot of the same process — exactly one is active at a
+// time.
+func (p *Process) Snapshot() *Snapshot {
+	return &Snapshot{
+		cp:     p.Mem.Checkpoint(),
+		arch:   p.CPU.SaveArch(),
+		brk:    p.brk,
+		canary: p.Canary,
+		allocs: maps.Clone(p.allocs),
+		output: append([]byte(nil), p.Output.Bytes()...),
+		log:    append([]string(nil), p.SyscallLog...),
+		// Keep a pristine cursor when the source supports cloning, so
+		// every restore replays the same script from the top.
+		input: CloneInput(p.Config.Input),
+	}
+}
+
+// Restore rolls the process back to the snapshot. Memory is byte-
+// identical to checkpoint time (the CPU decode cache stays warm when no
+// code changed — see mem.Restore); registers, the shadow stack, heap
+// break, allocation registry, output and syscall log all return to their
+// checkpoint values. The input source is re-armed with a fresh clone of
+// the snapshot-time script when the source supports cloning (callers
+// that drive each run with new input — fuzzers — overwrite it with
+// SetInput afterwards).
+func (p *Process) Restore(s *Snapshot) error {
+	if err := p.Mem.Restore(s.cp); err != nil {
+		return fmt.Errorf("kernel: restore: %w", err)
+	}
+	p.CPU.RestoreArch(s.arch)
+	p.brk = s.brk
+	p.Canary = s.canary
+	p.allocs = maps.Clone(s.allocs)
+	p.Output.Reset()
+	p.Output.Write(s.output)
+	p.SyscallLog = append(p.SyscallLog[:0], s.log...)
+	p.Config.Input = CloneInput(s.input)
+	return nil
+}
+
+// SetInput replaces the process input source as-is (no cloning). The
+// fuzzer calls this after Restore to feed each execution a fresh input
+// without allocating a script clone per run.
+func (p *Process) SetInput(src InputSource) { p.Config.Input = src }

@@ -5,6 +5,7 @@ import (
 
 	"softsec/internal/cpu"
 	"softsec/internal/isa"
+	"softsec/internal/mem"
 )
 
 // Syscall numbers (placed in EAX; arguments in EBX, ECX, EDX, ESI).
@@ -185,6 +186,12 @@ func (p *Process) sysWrite(fd, buf, n uint32) uint32 {
 		if err := p.CopyGuard(buf, n, false); err != nil {
 			return efault()
 		}
+	}
+	// Validate the whole source range before allocating the copy buffer:
+	// a junk length in EDX must cost an EFAULT, not a multi-gigabyte
+	// allocation (fuzzed executions hand this syscall random registers).
+	if !p.Mem.CheckRange(buf, n, mem.R) {
+		return efault()
 	}
 	b, err := p.Mem.ReadBytes(buf, int(n))
 	if err != nil {

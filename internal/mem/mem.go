@@ -106,6 +106,9 @@ func (f *Fault) Error() string {
 type page struct {
 	data [PageSize]byte
 	perm Perm
+	// seq stamps the checkpoint epoch this page was last saved under
+	// (see snapshot.go); zero means never saved.
+	seq uint64
 }
 
 type l2table [l2Size]*page
@@ -123,6 +126,12 @@ type Memory struct {
 	// lookup. lastPage == nil means the entry is invalid.
 	lastPN   uint32
 	lastPage *page
+
+	// snap is the active checkpoint, if any; snapSeq numbers checkpoint
+	// epochs monotonically so stale page.seq stamps never alias a new
+	// checkpoint. See snapshot.go.
+	snap    *Checkpoint
+	snapSeq uint64
 }
 
 // New returns an empty address space.
@@ -198,7 +207,12 @@ func (m *Memory) Map(addr, size uint32, perm Perm) error {
 		}
 	}
 	for i := uint32(0); i < n; i++ {
-		m.setPage(first+i, &page{perm: perm})
+		p := &page{perm: perm}
+		if m.snap != nil {
+			m.snap.saveAbsent(first + i)
+			p.seq = m.snap.seq
+		}
+		m.setPage(first+i, p)
 	}
 	m.npages += int(n)
 	m.gen++
@@ -213,7 +227,10 @@ func (m *Memory) Unmap(addr, size uint32) error {
 	}
 	first := addr / PageSize
 	for i := uint32(0); i < size/PageSize; i++ {
-		if m.pageAt(first+i) != nil {
+		if p := m.pageAt(first + i); p != nil {
+			if m.snap != nil && p.seq != m.snap.seq {
+				m.snap.save(first+i, p)
+			}
 			m.setPage(first+i, nil)
 			m.npages--
 		}
@@ -237,7 +254,11 @@ func (m *Memory) Protect(addr, size uint32, perm Perm) error {
 		}
 	}
 	for i := uint32(0); i < n; i++ {
-		m.pageAt(first + i).perm = perm
+		p := m.pageAt(first + i)
+		if m.snap != nil && p.seq != m.snap.seq {
+			m.snap.save(first+i, p)
+		}
+		p.perm = perm
 	}
 	m.gen++
 	return nil
@@ -281,6 +302,7 @@ func (m *Memory) Write8(addr uint32, v byte) error {
 	if err != nil {
 		return err
 	}
+	m.touch(addr, p)
 	p.data[addr&PageMask] = v
 	if p.perm&X != 0 {
 		m.gen++ // self-modifying code on a writable+executable page
@@ -330,6 +352,7 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 		if err != nil {
 			return err
 		}
+		m.touch(addr, p)
 		o := addr & PageMask
 		p.data[o] = byte(v)
 		p.data[o+1] = byte(v >> 8)
@@ -346,6 +369,32 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 		}
 	}
 	return nil
+}
+
+// CheckRange reports whether every byte of [addr, addr+n) is mapped with
+// the given access. It walks page-at-a-time, so validating an absurd
+// attacker-supplied length costs one lookup per mapped page and fails on
+// the first hole — the kernel uses it to reject junk syscall ranges
+// before allocating copy buffers (a fuzzed register can ask write() for
+// gigabytes).
+func (m *Memory) CheckRange(addr, n uint32, access Perm) bool {
+	if n == 0 {
+		return true
+	}
+	if addr+n < addr && addr+n != 0 {
+		return false // wraps the address space
+	}
+	last := (addr + n - 1) >> pageShift
+	for pn := addr >> pageShift; ; pn++ {
+		p := m.pageAt(pn)
+		if p == nil || p.perm&access != access {
+			return false
+		}
+		if pn == last {
+			break
+		}
+	}
+	return true
 }
 
 // ReadBytes reads n bytes starting at addr with R checks, copying page-at-
@@ -376,6 +425,7 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
 		if err != nil {
 			return written, err
 		}
+		m.touch(a, p)
 		nc := copy(p.data[a&PageMask:], b[written:])
 		if p.perm&X != 0 {
 			m.gen++
@@ -399,6 +449,7 @@ func (m *Memory) LoadRaw(addr uint32, b []byte) error {
 			}
 			return &Fault{Kind: FaultUnmapped, Addr: a, Access: W}
 		}
+		m.touch(a, p)
 		off += copy(p.data[a&PageMask:], b[off:])
 		dirty = true
 	}
@@ -453,6 +504,7 @@ func (m *Memory) PokeWord(addr uint32, v uint32) {
 		if p == nil {
 			return
 		}
+		m.touch(addr, p)
 		o := addr & PageMask
 		p.data[o] = byte(v)
 		p.data[o+1] = byte(v >> 8)
@@ -464,6 +516,7 @@ func (m *Memory) PokeWord(addr uint32, v uint32) {
 	dirty := false
 	for i := uint32(0); i < 4; i++ {
 		if p := m.page(addr + i); p != nil {
+			m.touch(addr+i, p)
 			p.data[(addr+i)&PageMask] = byte(v >> (8 * i))
 			dirty = true
 		}
@@ -514,8 +567,8 @@ func (m *Memory) Regions() []Region {
 
 // Clone returns a deep copy of the address space. Scenario runners use it
 // to replay attacks against identical initial states. The clone's
-// translation cache starts cold and its generation counter advances
-// independently of the original's.
+// translation cache starts cold, its generation counter advances
+// independently of the original's, and it carries no active checkpoint.
 func (m *Memory) Clone() *Memory {
 	c := &Memory{npages: m.npages, gen: m.gen}
 	for hi, t := range m.l1 {

@@ -1,0 +1,161 @@
+package mem
+
+import "fmt"
+
+// Process-reset checkpointing.
+//
+// A Checkpoint freezes the logical content of the address space at one
+// instant and lets the Memory be rolled back to that instant in time
+// proportional to the pages *touched* since, not to the size of the
+// space. It is the memory half of kernel process snapshot/restore, and
+// the mechanism that makes fuzzing campaigns reset a victim in
+// microseconds instead of re-linking and re-loading it.
+//
+// The implementation is a first-touch undo log. While a checkpoint is
+// active, the first mutation of each page — a permission-checked write, a
+// raw poke or load, a Protect, an Unmap, or a Map of a fresh page —
+// saves that page's pre-checkpoint state (or the fact that it did not
+// exist) keyed by page number. Restore walks the log and puts every
+// recorded page back. The log keeps its entries across restores: an
+// entry already holds the checkpoint-time truth, so pages the workload
+// touches on every iteration are saved exactly once for the lifetime of
+// the checkpoint and re-copied on each restore.
+//
+// The hot write path pays one nil test when no checkpoint is active, and
+// one generation compare (page.seq) when one is — the per-page map
+// lookup happens only on first touch.
+//
+// Decode-cache interaction: Restore leaves the generation counter alone
+// when nothing bumped it since the checkpoint (then only non-executable
+// data pages can be in the log, so cached decodes are still valid and
+// stay warm across resets — the fuzzing fast path). If anything did bump
+// it — self-modifying code, mapping or permission changes — Restore
+// moves to a fresh, never-cached generation, invalidating every decode
+// cache over this space, because intermediate generations may have been
+// cached against byte contents the rollback just rewrote.
+
+// undoPage records the pre-checkpoint content and permissions of one
+// page. A nil *undoPage in the log means "no page existed here at
+// checkpoint time" — created pages carry no payload, so a run that maps
+// thousands of pages costs the log only map entries, not page copies.
+type undoPage struct {
+	perm Perm
+	data [PageSize]byte
+}
+
+// Checkpoint is an active memory checkpoint created by Memory.Checkpoint.
+// At most one checkpoint is active per Memory; creating a new one
+// abandons the old (its undo information is discarded, not applied).
+type Checkpoint struct {
+	m      *Memory
+	seq    uint64
+	gen    uint64
+	npages int
+	pages  map[uint32]*undoPage
+}
+
+// Checkpoint begins tracking mutations so a later Restore can roll the
+// address space back to its current content. Any previously active
+// checkpoint for this Memory is abandoned.
+func (m *Memory) Checkpoint() *Checkpoint {
+	m.snapSeq++
+	cp := &Checkpoint{
+		m:      m,
+		seq:    m.snapSeq,
+		gen:    m.gen,
+		npages: m.npages,
+		pages:  make(map[uint32]*undoPage),
+	}
+	m.snap = cp
+	return cp
+}
+
+// Discard stops tracking for cp without restoring anything.
+func (m *Memory) Discard(cp *Checkpoint) {
+	if m.snap == cp {
+		m.snap = nil
+	}
+}
+
+// Restore rolls the address space back to the state captured by cp:
+// byte content, permissions, and the set of mapped pages all return to
+// their checkpoint values. The checkpoint stays active, so the
+// mutate-restore cycle can repeat indefinitely. cp must be the Memory's
+// active checkpoint.
+func (m *Memory) Restore(cp *Checkpoint) error {
+	if m.snap != cp {
+		return fmt.Errorf("mem: Restore: checkpoint is not active for this memory")
+	}
+	for pn, u := range cp.pages {
+		cur := m.pageAt(pn)
+		if u != nil {
+			if cur == nil {
+				cur = &page{}
+				m.setPage(pn, cur)
+				m.npages++
+			}
+			cur.data = u.data
+			cur.perm = u.perm
+			// The entry already holds the checkpoint-time truth; mark the
+			// page saved so post-restore writes skip the log.
+			cur.seq = cp.seq
+		} else {
+			if cur != nil {
+				m.setPage(pn, nil)
+				m.npages--
+			}
+			// A created-page entry is spent once the page is gone; drop
+			// it so workloads that map transient pages (heap churn) do
+			// not grow the log without bound. A later Map at this pn
+			// records a fresh entry.
+			delete(cp.pages, pn)
+		}
+	}
+	if m.npages != cp.npages {
+		return fmt.Errorf("mem: Restore: page accounting diverged (%d != %d)", m.npages, cp.npages)
+	}
+	m.lastPN, m.lastPage = 0, nil
+	if m.gen != cp.gen {
+		// Mapping, permission or code changes happened since the
+		// checkpoint; intermediate generations may be cached against
+		// bytes the rollback just replaced, so move to a fresh one —
+		// and resync the checkpoint to it. Post-restore memory is
+		// byte-identical to checkpoint time, so decodes minted at the
+		// fresh generation encode checkpoint bytes and stay valid
+		// across future restores: one divergent run must not condemn
+		// the rest of the campaign to cold decode caches.
+		m.gen++
+		cp.gen = m.gen
+	}
+	return nil
+}
+
+// save records page p (number pn) in the undo log if this is its first
+// touch since the checkpoint, and stamps it saved. Callers must invoke
+// it before mutating the page.
+func (cp *Checkpoint) save(pn uint32, p *page) {
+	p.seq = cp.seq
+	if _, ok := cp.pages[pn]; ok {
+		return
+	}
+	u := &undoPage{perm: p.perm}
+	u.data = p.data
+	cp.pages[pn] = u
+}
+
+// saveAbsent records that no page existed at pn at checkpoint time (the
+// page is being created by Map).
+func (cp *Checkpoint) saveAbsent(pn uint32) {
+	if _, ok := cp.pages[pn]; ok {
+		return
+	}
+	cp.pages[pn] = nil
+}
+
+// touch is the hot-path hook every page mutation goes through: a no-op
+// unless a checkpoint is active and the page has not been saved yet.
+func (m *Memory) touch(addr uint32, p *page) {
+	if m.snap != nil && p.seq != m.snap.seq {
+		m.snap.save(addr>>pageShift, p)
+	}
+}
