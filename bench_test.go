@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strings"
 	"testing"
 
 	"softsec/internal/asm"
@@ -569,15 +570,121 @@ loop:
 }
 
 // BenchmarkDecodeCacheHit measures the steady-state per-instruction cost
-// when every fetch hits the decoded-instruction cache.
+// of the single-step reference engine when every fetch hits the decoded-
+// instruction cache (the block engine is disabled for the measurement).
 func BenchmarkDecodeCacheHit(b *testing.B) {
 	c := benchLoopCPU(b)
+	saved := cpu.UseBlockEngine
+	cpu.UseBlockEngine = false
+	defer func() { cpu.UseBlockEngine = saved }()
 	b.ReportAllocs()
 	b.ResetTimer()
 	if st := c.Run(uint64(b.N)); st != cpu.StepLimit {
 		b.Fatalf("state %v fault %v", st, c.Fault())
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkBlockCacheHit is the block-engine counterpart: the same tight
+// loop dispatched block-at-a-time from a warm block cache — the
+// steady-state per-instruction cost of the fast path. The warm-up run is
+// rewound with RestoreArch so the timed run starts Running with hot
+// caches.
+func BenchmarkBlockCacheHit(b *testing.B) {
+	c := benchLoopCPU(b)
+	s := c.SaveArch()
+	c.Run(64) // warm the hotness gate and the block cache
+	c.RestoreArch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if st := c.Run(uint64(b.N)); st != cpu.StepLimit {
+		b.Fatalf("state %v fault %v", st, c.Fault())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkBlockBuild measures block formation cost: every iteration
+// builds main's entry block from scratch (decode per instruction, no
+// cache). This is the price the hotness gate avoids paying for one-shot
+// code.
+func BenchmarkBlockBuild(b *testing.B) {
+	p := buildKernelProc(b, minc.Options{}, kernel.Config{DEP: true})
+	start, ok := p.SymbolAddr("main")
+	if !ok {
+		b.Fatal("no main symbol")
+	}
+	blk := p.CPU.BuildBlockAt(start)
+	if blk == nil || blk.Len() < 2 {
+		b.Fatalf("degenerate block at main: %+v", blk)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.CPU.BuildBlockAt(start) == nil {
+			b.Fatal("build failed")
+		}
+	}
+	b.ReportMetric(float64(blk.Len()), "instrs/block")
+}
+
+// BenchmarkBlockHistogram runs the compute kernel with block statistics
+// installed and reports the block-length distribution and where block
+// formation stopped — the shape data documenting why blocks end early
+// (terminators vs page boundaries vs the length cap).
+func BenchmarkBlockHistogram(b *testing.B) {
+	var st cpu.BlockStats
+	for i := 0; i < b.N; i++ {
+		p := buildKernelProc(b, minc.Options{}, kernel.Config{DEP: true})
+		st = cpu.BlockStats{}
+		p.CPU.BlockStats = &st
+		if s := p.Run(); s != cpu.Exited {
+			b.Fatalf("state %v fault %v", s, p.CPU.Fault())
+		}
+	}
+	b.ReportMetric(blockLenMean(&st), "mean-block-len")
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Builds+st.StepFalls), "hit-rate")
+	b.Logf("block formation histogram:\n%s", renderBlockHist(&st))
+}
+
+// blockLenMean computes the mean built-block length.
+func blockLenMean(st *cpu.BlockStats) float64 {
+	var n, sum uint64
+	for l, c := range st.LenHist {
+		n += c
+		sum += uint64(l) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// renderBlockHist renders the block-length histogram plus the stop-
+// reason breakdown for b.Logf — the helper documenting where block
+// formation stops early.
+func renderBlockHist(st *cpu.BlockStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "builds=%d hits=%d dispatches=%d step-fallbacks=%d\n",
+		st.Builds, st.Hits, st.Dispatches, st.StepFalls)
+	var max uint64
+	for _, c := range st.LenHist {
+		if c > max {
+			max = c
+		}
+	}
+	for l, c := range st.LenHist {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / max)
+		fmt.Fprintf(&sb, "len %2d  %6d  %s\n", l, c, strings.Repeat("#", bar))
+	}
+	for r := cpu.StopTerminator; r <= cpu.StopUndecodable; r++ {
+		if n := st.StopHist[r]; n > 0 {
+			fmt.Fprintf(&sb, "stop %-13s %6d\n", r, n)
+		}
+	}
+	return sb.String()
 }
 
 // BenchmarkDecodeCacheMiss forces a full cache invalidation before every

@@ -9,7 +9,8 @@
 // runs that many independent trials across a -jobs wide worker pool,
 // re-randomizing ASLR layouts and canary values per trial, and the
 // output is a success-rate table (or a JSON report with -json). Results
-// are independent of -jobs.
+// are independent of -jobs. The sweep flags are shared with cmd/secsim
+// through internal/harness/cli.
 //
 //	attacklab -trials 256 -jobs 8
 //	attacklab -group mc-aslr -trials 1000 -json
@@ -27,23 +28,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"softsec/internal/core"
 	"softsec/internal/harness"
+	"softsec/internal/harness/cli"
 )
 
 func main() {
 	var (
-		machine   = flag.Bool("machine", false, "run the machine-code attacker (T3) matrix")
-		list      = flag.Bool("list", false, "list the attack catalog")
-		scenarios = flag.Bool("scenarios", false, "list every registered harness scenario")
-		group     = flag.String("group", "", "restrict the sweep to one scenario group (t1, t3, mc-aslr, mc-canary, fuzz)")
-		trials    = flag.Int("trials", 1, "independent trials per cell")
-		jobs      = flag.Int("jobs", runtime.NumCPU(), "worker-pool width")
-		seed      = flag.Int64("seed", 0, "base seed for per-trial seed derivation")
-		asJSON    = flag.Bool("json", false, "emit the aggregate report as JSON")
+		machine = flag.Bool("machine", false, "run the machine-code attacker (T3) matrix")
+		list    = flag.Bool("list", false, "list the attack catalog")
+		sweep   cli.Sweep
 	)
+	sweep.Register(flag.CommandLine, 0)
 	flag.Parse()
 
 	if *list {
@@ -58,52 +55,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "attacklab:", err)
 		os.Exit(1)
 	}
-	if *scenarios {
-		scens := reg.All()
-		if *group != "" {
-			scens = reg.Group(*group)
-			if len(scens) == 0 {
-				fmt.Fprintf(os.Stderr, "attacklab: no scenarios in group %q (try -scenarios)\n", *group)
-				os.Exit(2)
-			}
-		}
-		for _, s := range scens {
-			fmt.Printf("%-44s group=%s\n", s.Name, s.Group)
+	if sweep.List {
+		if err := sweep.PrintScenarios(os.Stdout, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(2)
 		}
 		return
 	}
 
 	// Sweep mode: run registered scenarios through the trial engine.
-	if *trials > 1 || *asJSON || *group != "" {
-		sel := *group
-		if sel == "" {
-			sel = "t1"
+	if sweep.Trials > 1 || sweep.JSON || sweep.Group != "" {
+		if sweep.Group == "" {
+			sweep.Group = "t1"
 			if *machine {
-				sel = "t3"
+				sweep.Group = "t3"
 			}
 		}
-		scs := reg.Group(sel)
-		if len(scs) == 0 {
-			fmt.Fprintf(os.Stderr, "attacklab: no scenarios in group %q (try -scenarios)\n", sel)
+		scs, err := cli.Select(reg, sweep.Group)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
 			os.Exit(2)
 		}
-		rep := harness.Run(scs, harness.Options{Trials: *trials, Jobs: *jobs, BaseSeed: *seed})
-		if *asJSON {
-			b, err := rep.JSON()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "attacklab:", err)
-				os.Exit(1)
-			}
-			os.Stdout.Write(append(b, '\n'))
-			return
+		if !sweep.JSON {
+			fmt.Printf("%s — %d trials/cell (base seed %d)\n\n", sweep.Group, sweep.Trials, sweep.Seed)
 		}
-		fmt.Printf("%s — %d trials/cell (base seed %d)\n\n", sel, *trials, *seed)
-		fmt.Print(rep.Render())
+		if _, err := sweep.Run(os.Stdout, scs); err != nil {
+			fmt.Fprintln(os.Stderr, "attacklab:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
 	if *machine {
-		rows, err := core.RunIsolationMatrixJobs(*jobs)
+		rows, err := core.RunIsolationMatrixJobs(sweep.Jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "attacklab:", err)
 			os.Exit(1)
@@ -115,6 +99,6 @@ func main() {
 	}
 	fmt.Println("T1 — attack techniques vs deployed countermeasures (Sections III-B, III-C)")
 	fmt.Println()
-	m := core.RunMatrixJobs(core.Attacks(), core.StandardConfigs(), *jobs)
+	m := core.RunMatrixJobs(core.Attacks(), core.StandardConfigs(), sweep.Jobs)
 	fmt.Print(m.Render())
 }

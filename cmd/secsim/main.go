@@ -9,46 +9,52 @@
 // Many trials across a worker pool (the harness mode): each trial derives
 // its own deterministic seed from -seed, re-randomizing the ASLR layout
 // and canary value when those mitigations are enabled, and the aggregate
-// success rate is reported. Results are independent of -jobs.
+// success rate is reported. Results are independent of -jobs. The sweep
+// flags (-trials/-jobs/-seed/-json/-scenarios/-group) are shared with
+// cmd/attacklab through internal/harness/cli.
 //
 //	secsim -attack stack-smash-inject -aslr -trials 256 -jobs 8
 //	secsim -attack rop-chain -canary -dep -trials 1000 -json
 //
-// Any registered harness scenario — including the fuzz/ campaign cells —
-// can be swept directly by name:
+// Any registered harness scenario — including the fuzz/ campaign cells
+// — can be swept directly by name, a whole group at a time, or listed:
 //
 //	secsim -scenario fuzz/echo/none -trials 4 -jobs 2
 //	secsim -scenario mc/aslr/rop-chain -trials 256 -json
+//	secsim -group fuzz -trials 2
+//	secsim -scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"softsec/internal/core"
 	"softsec/internal/harness"
+	"softsec/internal/harness/cli"
 )
 
 func main() {
 	var (
-		name    = flag.String("attack", "stack-smash-inject", "attack name (see attacklab -list)")
-		scen    = flag.String("scenario", "", "sweep a registered harness scenario by name (see attacklab -scenarios); the cell's config is baked in, so -attack and the mitigation flags are ignored")
+		name    = flag.String("attack", "stack-smash-inject", "attack name (see -list on attacklab)")
+		scen    = flag.String("scenario", "", "sweep a registered harness scenario by name (see -scenarios); the cell's config is baked in, so -attack and the mitigation flags are ignored")
 		canary  = flag.Bool("canary", false, "stack canaries")
 		dep     = flag.Bool("dep", false, "Data Execution Prevention")
 		aslr    = flag.Bool("aslr", false, "ASLR")
-		seed    = flag.Int64("seed", 42, "ASLR seed (single trial) / base seed (sweeps)")
 		checked = flag.Bool("checked", false, "checked dialect + fortified libc")
 		verbose = flag.Bool("v", false, "print victim source and output")
-		trials  = flag.Int("trials", 1, "number of independent trials")
-		jobs    = flag.Int("jobs", runtime.NumCPU(), "worker-pool width for sweeps")
-		asJSON  = flag.Bool("json", false, "emit the aggregate report as JSON")
+		sweep   cli.Sweep
 	)
+	sweep.Register(flag.CommandLine, 42)
 	flag.Parse()
 
-	if *scen != "" {
-		// A registered scenario bakes in its own victim and mitigation
+	if *scen != "" && (sweep.Group != "" || sweep.List) {
+		fmt.Fprintln(os.Stderr, "secsim: -scenario is mutually exclusive with -group/-scenarios (one cell, one group, or a listing — not several)")
+		os.Exit(2)
+	}
+	if *scen != "" || sweep.List || sweep.Group != "" {
+		// Registered scenarios bake in their own victim and mitigation
 		// config; refuse silently-ignored flags rather than sweep a
 		// configuration the user did not ask for.
 		for _, conflicting := range []struct {
@@ -56,11 +62,11 @@ func main() {
 			name string
 		}{{*canary, "-canary"}, {*dep, "-dep"}, {*aslr, "-aslr"}, {*checked, "-checked"}} {
 			if conflicting.set {
-				fmt.Fprintf(os.Stderr, "secsim: %s has no effect with -scenario (the cell's mitigation config is baked in)\n", conflicting.name)
+				fmt.Fprintf(os.Stderr, "secsim: %s has no effect with -scenario/-scenarios/-group (the cell's mitigation config is baked in)\n", conflicting.name)
 				os.Exit(2)
 			}
 		}
-		runScenario(*scen, *trials, *jobs, *seed, *asJSON)
+		runScenarios(*scen, &sweep)
 		return
 	}
 
@@ -79,12 +85,12 @@ func main() {
 	m := core.Mitigations{
 		Canary: *canary, CanarySeed: 7,
 		DEP:  *dep,
-		ASLR: *aslr, ASLRSeed: *seed,
+		ASLR: *aslr, ASLRSeed: sweep.Seed,
 		Checked: *checked,
 	}
 
-	if *trials > 1 || *asJSON {
-		runSweep(*spec, m, *trials, *jobs, *seed, *asJSON)
+	if sweep.Trials > 1 || sweep.JSON {
+		runSweep(*spec, m, &sweep)
 		return
 	}
 
@@ -117,55 +123,64 @@ func main() {
 	}
 }
 
-// runScenario sweeps one registered harness scenario by name — the
-// generic driver for cells that are not plain (attack, mitigation)
-// pairs, like the fuzz/ campaign cells.
-func runScenario(name string, trials, jobs int, baseSeed int64, asJSON bool) {
+// runScenarios drives the registered-scenario modes: -scenarios listing,
+// -group sweeps, and the single-scenario -scenario sweep — the generic
+// driver for cells that are not plain (attack, mitigation) pairs, like
+// the fuzz/ campaign cells.
+func runScenarios(name string, sweep *cli.Sweep) {
 	reg := harness.NewRegistry()
 	if err := core.RegisterScenarios(reg); err != nil {
 		fmt.Fprintln(os.Stderr, "secsim:", err)
 		os.Exit(1)
 	}
-	sc, ok := reg.Lookup(name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "secsim: unknown scenario %q (try attacklab -scenarios)\n", name)
-		os.Exit(2)
-	}
-	rep := harness.Run([]harness.Scenario{sc},
-		harness.Options{Trials: trials, Jobs: jobs, BaseSeed: baseSeed})
-	if asJSON {
-		b, err := rep.JSON()
-		if err != nil {
+	if sweep.List {
+		if err := sweep.PrintScenarios(os.Stdout, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "secsim:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
-		os.Stdout.Write(append(b, '\n'))
 		return
 	}
-	fmt.Print(rep.Render())
-	if c := rep.Cells[0]; c.Note != "" {
-		fmt.Printf("note: %s\n", c.Note)
+	var scs []harness.Scenario
+	if name != "" {
+		sc, ok := reg.Lookup(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "secsim: unknown scenario %q (try -scenarios)\n", name)
+			os.Exit(2)
+		}
+		scs = []harness.Scenario{sc}
+	} else {
+		var err error
+		scs, err = cli.Select(reg, sweep.Group)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secsim:", err)
+			os.Exit(2)
+		}
+	}
+	rep, err := sweep.Run(os.Stdout, scs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(1)
+	}
+	if !sweep.JSON && len(rep.Cells) == 1 {
+		if c := rep.Cells[0]; c.Note != "" {
+			fmt.Printf("note: %s\n", c.Note)
+		}
 	}
 }
 
 // runSweep executes the (attack, mitigation) cell as a parallel trial
 // sweep and exits 1 when any trial was compromised (mirroring the
 // single-trial exit convention).
-func runSweep(spec core.AttackSpec, m core.Mitigations, trials, jobs int, baseSeed int64, asJSON bool) {
+func runSweep(spec core.AttackSpec, m core.Mitigations, sweep *cli.Sweep) {
 	sc := core.TrialScenario(spec, m, true)
-	rep := harness.Run([]harness.Scenario{sc},
-		harness.Options{Trials: trials, Jobs: jobs, BaseSeed: baseSeed})
-	if asJSON {
-		b, err := rep.JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "secsim:", err)
-			os.Exit(1)
-		}
-		os.Stdout.Write(append(b, '\n'))
-	} else {
+	if !sweep.JSON {
 		fmt.Printf("attack:     %s (%s)\n", spec.Name, spec.Technique)
 		fmt.Printf("mitigation: %s\n", m)
-		fmt.Print(rep.Render())
+	}
+	rep, err := sweep.Run(os.Stdout, []harness.Scenario{sc})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(1)
 	}
 	c := rep.Cells[0]
 	if c.Errors > 0 {

@@ -1,0 +1,310 @@
+// Block-vs-step differential tests: the basic-block engine must be
+// bit-identical to the single-step reference engine across the entire
+// scenario catalog — byte-identical aggregate JSON, identical raw trial
+// results, identical architectural state, output, and coverage bitmaps —
+// including self-modifying code that rewrites the block currently
+// executing, and snapshot/restore cycles (the fuzz campaign cells reset
+// their victim thousands of times per trial).
+package softsec
+
+import (
+	"bytes"
+	"testing"
+
+	"softsec/internal/asm"
+	"softsec/internal/core"
+	"softsec/internal/cpu"
+	"softsec/internal/harness"
+	"softsec/internal/kernel"
+	"softsec/internal/minc"
+)
+
+// underEngine runs f with the block engine forced on or off.
+func underEngine(t *testing.T, blocks bool, f func()) {
+	t.Helper()
+	saved := cpu.UseBlockEngine
+	cpu.UseBlockEngine = blocks
+	defer func() { cpu.UseBlockEngine = saved }()
+	f()
+}
+
+// TestDifferentialCatalog sweeps every registered scenario group under
+// both engines and requires byte-identical reports. Trial counts are
+// small but non-trivial: T1/T3/mc trials re-randomize layouts and
+// canaries per trial, and each fuzz trial is a complete campaign of
+// thousands of snapshot/restore cycles.
+func TestDifferentialCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog differential is not short")
+	}
+	reg := harness.NewRegistry()
+	if err := core.RegisterScenarios(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, group := range reg.Groups() {
+		group := group
+		t.Run(group, func(t *testing.T) {
+			scs := reg.Group(group)
+			if len(scs) == 0 {
+				t.Fatalf("empty group %q", group)
+			}
+			trials := 2
+			if group == "fuzz" {
+				trials = 1 // a trial is a whole campaign
+			}
+			opt := harness.Options{Trials: trials, Jobs: 1, BaseSeed: 7}
+
+			var blkRep, refRep *harness.Report
+			underEngine(t, true, func() { blkRep = harness.Run(scs, opt) })
+			underEngine(t, false, func() { refRep = harness.Run(scs, opt) })
+
+			blkJSON, err := blkRep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refJSON, err := refRep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blkJSON, refJSON) {
+				t.Fatalf("aggregate JSON diverged between engines:\nblock:\n%s\nstep:\n%s",
+					blkJSON, refJSON)
+			}
+			for si := range blkRep.Results {
+				for ti := range blkRep.Results[si] {
+					b, r := blkRep.Results[si][ti], refRep.Results[si][ti]
+					if b.Outcome != r.Outcome || b.Code != r.Code ||
+						b.Success != r.Success || b.Detail != r.Detail ||
+						(b.Err == nil) != (r.Err == nil) {
+						t.Fatalf("%s trial %d diverged: block %+v vs step %+v",
+							scs[si].Name, ti, b, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// diffProcRun loads src (MinC) under cfg and runs it to completion under
+// both engines, comparing final state, registers, flags, step counts,
+// fault rendering, output bytes, and the coverage bitmap.
+func diffProcRun(t *testing.T, name, src string, opt minc.Options, cfg kernel.Config) {
+	t.Helper()
+	img, err := minc.Compile(name, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffLinkedRun(t, img, cfg)
+}
+
+func diffLinkedRun(t *testing.T, img *asm.Image, cfg kernel.Config) {
+	t.Helper()
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(blocks bool) (*kernel.Process, cpu.State, *cpu.Coverage) {
+		var p *kernel.Process
+		var st cpu.State
+		cov := &cpu.Coverage{}
+		underEngine(t, blocks, func() {
+			var err error
+			p, err = kernel.Load(ld, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.CPU.Coverage = cov
+			st = p.Run()
+		})
+		return p, st, cov
+	}
+	bp, bst, bcov := run(true)
+	rp, rst, rcov := run(false)
+
+	if bst != rst {
+		t.Fatalf("state diverged: block %v vs step %v (faults %v / %v)",
+			bst, rst, bp.CPU.Fault(), rp.CPU.Fault())
+	}
+	if bp.CPU.Reg != rp.CPU.Reg || bp.CPU.IP != rp.CPU.IP || bp.CPU.F != rp.CPU.F {
+		t.Fatalf("arch state diverged:\nblock: reg %v ip %#x f %+v\nstep:  reg %v ip %#x f %+v",
+			bp.CPU.Reg, bp.CPU.IP, bp.CPU.F, rp.CPU.Reg, rp.CPU.IP, rp.CPU.F)
+	}
+	if bp.CPU.Steps != rp.CPU.Steps {
+		t.Fatalf("steps diverged: block %d vs step %d", bp.CPU.Steps, rp.CPU.Steps)
+	}
+	fs := func(f *cpu.Fault) string {
+		if f == nil {
+			return ""
+		}
+		return f.Error()
+	}
+	if fs(bp.CPU.Fault()) != fs(rp.CPU.Fault()) {
+		t.Fatalf("fault diverged: %q vs %q", fs(bp.CPU.Fault()), fs(rp.CPU.Fault()))
+	}
+	if !bytes.Equal(bp.Output.Bytes(), rp.Output.Bytes()) {
+		t.Fatalf("output diverged: %q vs %q", bp.Output.Bytes(), rp.Output.Bytes())
+	}
+	if !bcov.Equal(rcov) {
+		t.Fatalf("coverage diverged: %d vs %d edges", bcov.Count(), rcov.Count())
+	}
+}
+
+// TestDifferentialKernelWorkloads compares full process runs — arch
+// state, output, coverage — for representative workloads.
+func TestDifferentialKernelWorkloads(t *testing.T) {
+	const echo = `
+	void main() {
+		char buf[16];
+		read(0, buf, 64);
+		write(1, buf, 5);
+	}`
+	const compute = `
+	int step(int i) {
+		char tmp[8];
+		tmp[i % 8] = i;
+		return tmp[i % 8];
+	}
+	int main() {
+		int i;
+		int acc = 0;
+		for (i = 0; i < 200; i++) {
+			acc = acc + step(i);
+		}
+		return acc & 0xFF;
+	}`
+	in := func() *kernel.ScriptInput { return &kernel.ScriptInput{[]byte("hello world")} }
+	t.Run("echo/dep", func(t *testing.T) {
+		diffProcRun(t, "v", echo, minc.Options{}, kernel.Config{DEP: true, Input: in()})
+	})
+	t.Run("echo/none", func(t *testing.T) {
+		diffProcRun(t, "v", echo, minc.Options{}, kernel.Config{Input: in()})
+	})
+	t.Run("echo/smashed", func(t *testing.T) {
+		smash := bytes.Repeat([]byte{0x41}, 64)
+		diffProcRun(t, "v", echo, minc.Options{},
+			kernel.Config{DEP: true, Input: &kernel.ScriptInput{smash}})
+	})
+	t.Run("compute/canary+shadow", func(t *testing.T) {
+		diffProcRun(t, "k", compute, minc.Options{Canary: true},
+			kernel.Config{DEP: true, CanarySeed: 9, ShadowStack: true})
+	})
+	t.Run("compute/steplimit", func(t *testing.T) {
+		// The budget lands mid-execution: StepLimit must fire at the same
+		// instruction count under both engines.
+		diffProcRun(t, "k", compute, minc.Options{},
+			kernel.Config{DEP: true, MaxSteps: 777})
+	})
+}
+
+// selfModifySrc patches the immediate byte of an instruction *later in
+// the same straight-line block* (the storeb and its target sit between
+// two control transfers), then loops so the patched instruction is also
+// re-entered from a warm block cache. The final mov hands the patched
+// value to the exit code.
+const selfModifySrc = `
+	.text
+	.global main
+main:
+	mov edx, 0
+loop:
+	mov ecx, target
+	mov eax, 0x77
+	storeb [ecx+1], eax
+target:
+	mov ebx, 0x11
+	cmp edx, 1
+	jz done
+	add edx, 1
+	jmp loop
+done:
+	mov eax, ebx
+	mov ebx, eax
+	and ebx, 0xFF
+	mov eax, 1
+	int 0x80
+`
+
+// TestDifferentialSelfModifyingBlock runs the in-block self-modification
+// program at process level (no DEP: text is writable, the historical
+// layout) under both engines and also pins the architectural result.
+func TestDifferentialSelfModifyingBlock(t *testing.T) {
+	img, err := asm.Assemble("smc", selfModifySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffLinkedRun(t, img, kernel.Config{})
+
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if code := p.CPU.ExitCode(); code != 0x77 {
+		t.Fatalf("exit code %#x, want 0x77 (stale decode survived in-block self-modify)", code)
+	}
+}
+
+// TestDifferentialSnapshotCycles drives mutate-restore cycles through
+// both engines: run, restore, re-run with different input, and compare
+// outputs and arch state after every cycle.
+func TestDifferentialSnapshotCycles(t *testing.T) {
+	const victim = `
+	void main() {
+		char buf[16];
+		read(0, buf, 64);
+		write(1, buf, 8);
+	}`
+	img, err := minc.Compile("v", victim, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		[]byte("aaaaaaaaaaaa"),
+		bytes.Repeat([]byte{0x41}, 64),
+		[]byte("bbbbbbbbbbbb"),
+		bytes.Repeat([]byte{0xCC}, 40),
+	}
+	type cycle struct {
+		st    cpu.State
+		steps uint64
+		out   []byte
+	}
+	runCycles := func(blocks bool) []cycle {
+		var out []cycle
+		underEngine(t, blocks, func() {
+			p, err := kernel.Load(ld, kernel.Config{Input: &kernel.ScriptInput{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := p.Snapshot()
+			for _, in := range inputs {
+				if err := p.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				p.SetInput(&kernel.ScriptInput{in})
+				st := p.Run()
+				out = append(out, cycle{st, p.CPU.Steps, append([]byte(nil), p.Output.Bytes()...)})
+			}
+		})
+		return out
+	}
+	blk := runCycles(true)
+	ref := runCycles(false)
+	for i := range inputs {
+		if blk[i].st != ref[i].st || blk[i].steps != ref[i].steps ||
+			!bytes.Equal(blk[i].out, ref[i].out) {
+			t.Fatalf("cycle %d diverged: block {%v %d %q} vs step {%v %d %q}",
+				i, blk[i].st, blk[i].steps, blk[i].out, ref[i].st, ref[i].steps, ref[i].out)
+		}
+	}
+}

@@ -401,51 +401,54 @@ func (a *assembler) parseInstr(ln int, line string) error {
 	return nil
 }
 
+// pickTable maps "mnemonic shape..." signatures to operations. Built
+// once: pick runs for every instruction of every assembly, and
+// rebuilding the literal per call dominated assembler profiles.
+var pickTable = map[string]isa.Op{
+	"nop": isa.NOP, "hlt": isa.HLT, "ret": isa.RET,
+	"leave": isa.LEAVE, "trap": isa.TRAP,
+	"push r": isa.PUSH, "push i": isa.PUSHI, "pop r": isa.POP,
+	"mov r i": isa.MOVI, "mov r r": isa.MOV,
+	"add r r": isa.ADD, "add r i": isa.ADDI,
+	"sub r r": isa.SUB, "sub r i": isa.SUBI,
+	"and r r": isa.AND, "and r i": isa.ANDI,
+	"or r r": isa.OR, "or r i": isa.ORI,
+	"xor r r": isa.XOR, "xor r i": isa.XORI,
+	"cmp r r": isa.CMP, "cmp r i": isa.CMPI,
+	"test r r": isa.TEST,
+	"imul r r": isa.IMUL, "idiv r r": isa.IDIV, "imod r r": isa.IMOD,
+	"shl r r": isa.SHL, "shr r r": isa.SHR, "sar r r": isa.SAR,
+	"neg r": isa.NEG, "not r": isa.NOT,
+	"loadw r m": isa.LOADW, "loadb r m": isa.LOADB,
+	"storew m r": isa.STOREW, "storeb m r": isa.STOREB,
+	"lea r m": isa.LEA,
+	"call r":  isa.CALLR, "call i": isa.CALL,
+	"jmp r": isa.JMPR, "jmp i": isa.JMP,
+	"jz i": isa.JZ, "jnz i": isa.JNZ, "jl i": isa.JL, "jg i": isa.JG,
+	"jle i": isa.JLE, "jge i": isa.JGE, "jb i": isa.JB, "ja i": isa.JA,
+	"jae i": isa.JAE, "jbe i": isa.JBE,
+	"int i": isa.INT,
+}
+
 // pick resolves a mnemonic + operand shapes to an isa.Op.
 func (a *assembler) pick(ln int, s *stmt) (isa.Op, error) {
-	n := len(s.args)
-	shape := func(i int) byte {
+	var sig [16]byte
+	b := append(sig[:0], s.op...)
+	for i := range s.args {
+		var shape byte
 		switch {
 		case s.args[i].isReg:
-			return 'r'
+			shape = 'r'
 		case s.args[i].isMem:
-			return 'm'
+			shape = 'm'
 		default:
-			return 'i'
+			shape = 'i'
 		}
+		b = append(b, ' ', shape)
 	}
-	sig := s.op
-	for i := 0; i < n; i++ {
-		sig += " " + string(shape(i))
-	}
-	table := map[string]isa.Op{
-		"nop": isa.NOP, "hlt": isa.HLT, "ret": isa.RET,
-		"leave": isa.LEAVE, "trap": isa.TRAP,
-		"push r": isa.PUSH, "push i": isa.PUSHI, "pop r": isa.POP,
-		"mov r i": isa.MOVI, "mov r r": isa.MOV,
-		"add r r": isa.ADD, "add r i": isa.ADDI,
-		"sub r r": isa.SUB, "sub r i": isa.SUBI,
-		"and r r": isa.AND, "and r i": isa.ANDI,
-		"or r r": isa.OR, "or r i": isa.ORI,
-		"xor r r": isa.XOR, "xor r i": isa.XORI,
-		"cmp r r": isa.CMP, "cmp r i": isa.CMPI,
-		"test r r": isa.TEST,
-		"imul r r": isa.IMUL, "idiv r r": isa.IDIV, "imod r r": isa.IMOD,
-		"shl r r": isa.SHL, "shr r r": isa.SHR, "sar r r": isa.SAR,
-		"neg r": isa.NEG, "not r": isa.NOT,
-		"loadw r m": isa.LOADW, "loadb r m": isa.LOADB,
-		"storew m r": isa.STOREW, "storeb m r": isa.STOREB,
-		"lea r m": isa.LEA,
-		"call r":  isa.CALLR, "call i": isa.CALL,
-		"jmp r": isa.JMPR, "jmp i": isa.JMP,
-		"jz i": isa.JZ, "jnz i": isa.JNZ, "jl i": isa.JL, "jg i": isa.JG,
-		"jle i": isa.JLE, "jge i": isa.JGE, "jb i": isa.JB, "ja i": isa.JA,
-		"jae i": isa.JAE, "jbe i": isa.JBE,
-		"int i": isa.INT,
-	}
-	op, ok := table[sig]
+	op, ok := pickTable[string(b)]
 	if !ok {
-		return 0, a.errf(ln, "no instruction matches %q", sig)
+		return 0, a.errf(ln, "no instruction matches %q", b)
 	}
 	return op, nil
 }

@@ -182,16 +182,22 @@ const (
 )
 
 // dcEntry is one decode-cache slot. An entry is valid for address a iff
-// tag == a, gen equals the memory's current code generation, and in.Size
-// is non-zero (zero Size marks a never-filled slot, since no real
-// instruction decodes to zero bytes). Any event that could change code —
-// mapping changes, raw pokes, writes to executable pages — bumps the
-// memory generation and thereby invalidates every entry at once without a
-// flush loop.
+// tag == a, sgen equals the memory's current structural code generation
+// (mem.CodeGen), the write stamps of the page(s) the instruction's bytes
+// span are unchanged (*w0 == g0, and *w1 == g1 when the instruction
+// crosses a page boundary), and in.Size is non-zero (zero Size marks a
+// never-filled slot, since no real instruction decodes to zero bytes).
+// Structural events — Map, Unmap, Protect — invalidate every entry at
+// once; content writes that could change code invalidate only the
+// entries spanning the written page (mem.CodeStamp).
 type dcEntry struct {
-	tag uint32
-	gen uint64
-	in  isa.Instr
+	tag  uint32
+	sgen uint64
+	w0   *uint64
+	g0   uint64
+	w1   *uint64 // nil unless the instruction crosses a page boundary
+	g1   uint64
+	in   isa.Instr
 }
 
 // CPU is one SM32 hardware thread. Create with New; the zero value is not
@@ -230,8 +236,19 @@ type CPU struct {
 	fault     *Fault
 	skipBreak bool
 
+	// BlockStats, when non-nil, counts block-engine activity: builds,
+	// cache hits, fallbacks, and where block formation stopped (see
+	// block.go). Nil costs the engine nothing on the dispatch path.
+	BlockStats *BlockStats
+
 	// dcache is the decoded-instruction cache, allocated on first fetch.
 	dcache []dcEntry
+	// bcache is the basic-block cache, allocated on first block dispatch.
+	bcache []bcEntry
+	// cacheMem remembers which Memory the caches were filled against;
+	// swapping c.Mem drops both caches (their page stamps point into the
+	// old address space).
+	cacheMem *mem.Memory
 
 	// Compiled access checkers: bound from Policy by bindPolicy. nil
 	// means "always allow". bound remembers which Policy value the
@@ -241,22 +258,44 @@ type CPU struct {
 	chkWrite func(ip, addr uint32, size int) error
 	chkExec  func(from, to uint32) error
 	bound    Policy
+	// blockCheck is the block-span summarizer, bound when the Policy also
+	// implements BlockCheckCompiler; nil otherwise (then a non-nil Policy
+	// forces the stepping engine).
+	blockCheck func(start, end uint32) (dataFree, ok bool)
+	// polEpoch increments on every rebind, invalidating cached per-block
+	// policy summaries.
+	polEpoch uint32
+	// noDataChk suppresses the per-access data checkers while the block
+	// engine executes a span the policy proved data-free.
+	noDataChk bool
 }
 
 // ensureBound recompiles the access checkers if the Policy field changed
-// since they were last bound. It is called at the CPU's public entry
-// points (Step, Run, Push, Pop) — never on the per-access path.
+// since they were last bound, and drops the decode and block caches if
+// the Memory was swapped out from under them. It is called at the CPU's
+// public entry points (Step, Run, Push, Pop) and once per dispatched
+// block — never on the per-access path.
 func (c *CPU) ensureBound() {
 	if c.Policy != c.bound {
 		c.bindPolicy()
+	}
+	if c.Mem != c.cacheMem {
+		c.dcache, c.bcache = nil, nil
+		c.cacheMem = c.Mem
 	}
 }
 
 func (c *CPU) bindPolicy() {
 	c.bound = c.Policy
+	c.polEpoch++ // cached per-block policy summaries are for the old policy
+	c.noDataChk = false
+	c.blockCheck = nil
 	if c.Policy == nil {
 		c.chkRead, c.chkWrite, c.chkExec = nil, nil, nil
 		return
+	}
+	if bc, ok := c.Policy.(BlockCheckCompiler); ok {
+		c.blockCheck = bc.CompileBlockCheck
 	}
 	if cc, ok := c.Policy.(CheckCompiler); ok {
 		c.chkRead, c.chkWrite, c.chkExec = cc.CompileChecks()
@@ -320,7 +359,7 @@ func (c *CPU) setFault(kind FaultKind, ip uint32, err error) {
 }
 
 func (c *CPU) readMem(addr uint32, size int) (uint32, bool) {
-	if c.chkRead != nil {
+	if c.chkRead != nil && !c.noDataChk {
 		if err := c.chkRead(c.IP, addr, size); err != nil {
 			c.setFault(FaultPolicy, c.IP, err)
 			return 0, false
@@ -343,7 +382,7 @@ func (c *CPU) readMem(addr uint32, size int) (uint32, bool) {
 }
 
 func (c *CPU) writeMem(addr uint32, v uint32, size int) bool {
-	if c.chkWrite != nil {
+	if c.chkWrite != nil && !c.noDataChk {
 		if err := c.chkWrite(c.IP, addr, size); err != nil {
 			c.setFault(FaultPolicy, c.IP, err)
 			return false
@@ -366,6 +405,12 @@ func (c *CPU) writeMem(addr uint32, v uint32, size int) bool {
 // handlers and loaders that set up initial frames.
 func (c *CPU) Push(v uint32) bool {
 	c.ensureBound()
+	return c.push(v)
+}
+
+// push is Push without the entry-point rebind check: the execution
+// engines call it with the policy already bound.
+func (c *CPU) push(v uint32) bool {
 	c.Reg[isa.ESP] -= 4
 	return c.writeMem(c.Reg[isa.ESP], v, 4)
 }
@@ -373,6 +418,11 @@ func (c *CPU) Push(v uint32) bool {
 // Pop pops the top of stack into v.
 func (c *CPU) Pop() (uint32, bool) {
 	c.ensureBound()
+	return c.pop()
+}
+
+// pop is Pop without the entry-point rebind check.
+func (c *CPU) pop() (uint32, bool) {
 	v, ok := c.readMem(c.Reg[isa.ESP], 4)
 	if !ok {
 		return 0, false
@@ -382,55 +432,70 @@ func (c *CPU) Pop() (uint32, bool) {
 }
 
 // fetch returns the decoded instruction at IP, consulting the decode
-// cache. A hit requires the entry's generation to match the memory's
-// current code generation, so any write that could have changed code
-// since the fill forces a fresh fetch — the cache can never serve stale
-// bytes to self-modifying code, code injection, or post-Protect fetches.
+// cache. A hit requires the entry's structural generation and page write
+// stamps to be current, so any event that could have changed the bytes
+// at IP since the fill forces a fresh fetch — the cache can never serve
+// stale bytes to self-modifying code, code injection, or post-Protect
+// fetches.
 func (c *CPU) fetch() (isa.Instr, bool) {
 	if c.dcache == nil {
 		c.dcache = make([]dcEntry, dcacheSize)
 	}
-	gen := c.Mem.CodeGen()
+	sgen := c.Mem.CodeGen()
 	e := &c.dcache[c.IP&(dcacheSize-1)]
-	if e.tag == c.IP && e.gen == gen && e.in.Size != 0 {
+	if e.tag == c.IP && e.sgen == sgen && e.in.Size != 0 &&
+		*e.w0 == e.g0 && (e.w1 == nil || *e.w1 == e.g1) {
 		return e.in, true
 	}
 	in, ok := c.fetchSlow()
 	if ok {
-		*e = dcEntry{tag: c.IP, gen: gen, in: in}
+		*e = dcEntry{tag: c.IP, sgen: sgen, in: in}
+		e.w0, e.g0 = c.Mem.CodeStamp(c.IP)
+		if last := c.IP + uint32(in.Size) - 1; last/mem.PageSize != c.IP/mem.PageSize {
+			e.w1, e.g1 = c.Mem.CodeStamp(last)
+		}
 	}
 	return in, ok
 }
 
 // fetchSlow reads and decodes the instruction at IP from memory, with a
-// per-byte X permission check.
+// per-byte X permission check, converting failures into CPU faults.
 func (c *CPU) fetchSlow() (isa.Instr, bool) {
-	b0, err := c.Mem.Fetch8(c.IP)
+	in, err := c.decodeAt(c.IP)
 	if err != nil {
-		c.setFault(FaultMemory, c.IP, err)
+		if _, isDecode := err.(*isa.DecodeErr); isDecode {
+			c.setFault(FaultDecode, c.IP, err)
+		} else {
+			c.setFault(FaultMemory, c.IP, err)
+		}
 		return isa.Instr{}, false
+	}
+	return in, true
+}
+
+// decodeAt reads and decodes the instruction at pc with per-byte X
+// permission checks, reporting failures as errors (a *isa.DecodeErr or
+// the underlying memory fault) without touching CPU fault state — the
+// block builder probes ahead with it.
+func (c *CPU) decodeAt(pc uint32) (isa.Instr, error) {
+	b0, err := c.Mem.Fetch8(pc)
+	if err != nil {
+		return isa.Instr{}, err
 	}
 	n, ok := isa.LenFromOpcode(b0)
 	if !ok {
-		c.setFault(FaultDecode, c.IP, &isa.DecodeErr{Addr: c.IP, Opcode: b0})
-		return isa.Instr{}, false
+		return isa.Instr{}, &isa.DecodeErr{Addr: pc, Opcode: b0}
 	}
 	var buf [6]byte
 	buf[0] = b0
 	for i := 1; i < n; i++ {
-		bi, err := c.Mem.Fetch8(c.IP + uint32(i))
+		bi, err := c.Mem.Fetch8(pc + uint32(i))
 		if err != nil {
-			c.setFault(FaultMemory, c.IP, err)
-			return isa.Instr{}, false
+			return isa.Instr{}, err
 		}
 		buf[i] = bi
 	}
-	in, err := isa.Decode(buf[:n], c.IP)
-	if err != nil {
-		c.setFault(FaultDecode, c.IP, err)
-		return isa.Instr{}, false
-	}
-	return in, true
+	return isa.Decode(buf[:n], pc)
 }
 
 // setArith updates flags for an addition result.
@@ -480,8 +545,29 @@ func (c *CPU) branch(from, to uint32) bool {
 	return c.transfer(from, to)
 }
 
-// Step executes one instruction. It returns true while the CPU remains
-// Running.
+// execKind classifies how exec1 left the machine.
+type execKind uint8
+
+const (
+	// execSeq: the instruction completed and falls through sequentially;
+	// the caller owns the retirement (count the step, move IP to next,
+	// with or without a policy exec check).
+	execSeq execKind = iota
+	// execBranch: the instruction completed via an explicit control
+	// transfer (branch or trap return): Steps counted, IP updated or a
+	// policy fault recorded. The caller consults c.state.
+	execBranch
+	// execStop: execution stopped inside the instruction — a fault, HLT,
+	// TRAP, or a trap handler ending the run.
+	execStop
+)
+
+// Step executes one instruction through the single-step reference
+// engine. It returns true while the CPU remains Running. The block
+// engine (block.go) must stay bit-identical to a Step loop; both drive
+// the same exec1 core, and Step remains the semantic definition of one
+// retirement: fetch, trace, execute, then a policy-checked sequential
+// transfer for fall-through instructions.
 func (c *CPU) Step() bool {
 	if c.state != Running {
 		return false
@@ -503,6 +589,22 @@ func (c *CPU) Step() bool {
 
 	ip := c.IP
 	next := ip + uint32(in.Size)
+	switch c.exec1(in, ip, next) {
+	case execSeq:
+		c.Steps++
+		return c.transfer(ip, next)
+	case execBranch:
+		return c.state == Running
+	default:
+		return false
+	}
+}
+
+// exec1 executes one decoded instruction located at ip (which must equal
+// c.IP) whose sequential successor is next. It is the shared execution
+// core of both the stepping and the block engine; the returned execKind
+// tells the caller whether it still owes the sequential retirement.
+func (c *CPU) exec1(in isa.Instr, ip, next uint32) execKind {
 	r := &c.Reg
 
 	switch in.Op {
@@ -510,23 +612,23 @@ func (c *CPU) Step() bool {
 	case isa.HLT:
 		c.Steps++
 		c.state = Halted
-		return false
+		return execStop
 	case isa.TRAP:
 		c.Steps++
 		c.setFault(FaultTrap, ip, nil)
-		return false
+		return execStop
 	case isa.PUSH:
-		if !c.Push(r[in.Rd]) {
-			return false
+		if !c.push(r[in.Rd]) {
+			return execStop
 		}
 	case isa.PUSHI:
-		if !c.Push(in.Imm) {
-			return false
+		if !c.push(in.Imm) {
+			return execStop
 		}
 	case isa.POP:
-		v, ok := c.Pop()
+		v, ok := c.pop()
 		if !ok {
-			return false
+			return execStop
 		}
 		r[in.Rd] = v
 	case isa.MOVI:
@@ -580,7 +682,7 @@ func (c *CPU) Step() bool {
 		if r[in.Rs] == 0 {
 			c.Steps++
 			c.setFault(FaultDivide, ip, nil)
-			return false
+			return execStop
 		}
 		// INT_MIN / -1 overflows; SM32 defines it as wrapping (returning
 		// INT_MIN), unlike x86's #DE — and unlike Go, which would panic.
@@ -594,7 +696,7 @@ func (c *CPU) Step() bool {
 		if r[in.Rs] == 0 {
 			c.Steps++
 			c.setFault(FaultDivide, ip, nil)
-			return false
+			return execStop
 		}
 		if r[in.Rd] == 0x80000000 && r[in.Rs] == 0xFFFFFFFF {
 			r[in.Rd] = 0
@@ -622,110 +724,117 @@ func (c *CPU) Step() bool {
 	case isa.LOADW:
 		v, ok := c.readMem(r[in.Rs]+in.Imm, 4)
 		if !ok {
-			return false
+			return execStop
 		}
 		r[in.Rd] = v
 	case isa.LOADB:
 		v, ok := c.readMem(r[in.Rs]+in.Imm, 1)
 		if !ok {
-			return false
+			return execStop
 		}
 		r[in.Rd] = v
 	case isa.STOREW:
 		if !c.writeMem(r[in.Rd]+in.Imm, r[in.Rs], 4) {
-			return false
+			return execStop
 		}
 	case isa.STOREB:
 		if !c.writeMem(r[in.Rd]+in.Imm, r[in.Rs], 1) {
-			return false
+			return execStop
 		}
 	case isa.LEAVE:
 		// esp = ebp; pop ebp — deallocates the activation record.
 		r[isa.ESP] = r[isa.EBP]
-		v, ok := c.Pop()
+		v, ok := c.pop()
 		if !ok {
-			return false
+			return execStop
 		}
 		r[isa.EBP] = v
 	case isa.CALL:
-		if !c.Push(next) {
-			return false
+		if !c.push(next) {
+			return execStop
 		}
 		if c.ShadowStack {
 			c.shadow = append(c.shadow, next)
 		}
 		c.Steps++
-		return c.branch(ip, next+in.Imm)
+		c.branch(ip, next+in.Imm)
+		return execBranch
 	case isa.CALLR:
-		if !c.Push(next) {
-			return false
+		if !c.push(next) {
+			return execStop
 		}
 		if c.ShadowStack {
 			c.shadow = append(c.shadow, next)
 		}
 		c.Steps++
-		return c.branch(ip, r[in.Rd])
+		c.branch(ip, r[in.Rd])
+		return execBranch
 	case isa.RET:
 		// Pops whatever word is on top of the stack into the
 		// instruction pointer — the mechanism stack smashing abuses.
-		v, ok := c.Pop()
+		v, ok := c.pop()
 		if !ok {
-			return false
+			return execStop
 		}
 		c.Steps++
 		if c.ShadowStack {
 			if len(c.shadow) == 0 {
 				c.setFault(FaultCFI, ip, fmt.Errorf("ret with empty shadow stack"))
-				return false
+				return execStop
 			}
 			want := c.shadow[len(c.shadow)-1]
 			c.shadow = c.shadow[:len(c.shadow)-1]
 			if v != want {
 				c.setFault(FaultCFI, ip, fmt.Errorf(
 					"return address 0x%08x does not match shadow copy 0x%08x", v, want))
-				return false
+				return execStop
 			}
 		}
-		return c.branch(ip, v)
+		c.branch(ip, v)
+		return execBranch
 	case isa.JMP:
 		c.Steps++
-		return c.branch(ip, next+in.Imm)
+		c.branch(ip, next+in.Imm)
+		return execBranch
 	case isa.JMPR:
 		c.Steps++
-		return c.branch(ip, r[in.Rd])
+		c.branch(ip, r[in.Rd])
+		return execBranch
 	case isa.JZ, isa.JNZ, isa.JL, isa.JG, isa.JLE, isa.JGE, isa.JB, isa.JA,
 		isa.JAE, isa.JBE:
 		c.Steps++
 		if c.cond(in.Op) {
-			return c.branch(ip, next+in.Imm)
+			c.branch(ip, next+in.Imm)
+		} else {
+			c.branch(ip, next)
 		}
-		return c.branch(ip, next)
+		return execBranch
 	case isa.INT:
 		c.Steps++
 		if in.Imm == 0x29 {
 			// Fail-fast: defensive checks (canaries, secure-
 			// compilation guards) abort here.
 			c.setFault(FaultFailFast, ip, nil)
-			return false
+			return execStop
 		}
 		if c.Handler == nil {
 			c.setFault(FaultNoHandler, ip, nil)
-			return false
+			return execStop
 		}
 		if err := c.Handler.Trap(c, uint8(in.Imm)); err != nil {
 			c.setFault(FaultTrap, ip, err)
-			return false
+			return execStop
 		}
 		if c.state != Running {
-			return false
+			return execStop
 		}
-		return c.transfer(ip, next)
+		c.transfer(ip, next)
+		return execBranch
 	default:
 		c.setFault(FaultDecode, ip, fmt.Errorf("unimplemented op %v", in.Op))
-		return false
+		return execStop
 	}
-	c.Steps++
-	return c.transfer(ip, next)
+	return execSeq
 }
 
 func (c *CPU) cond(op isa.Op) bool {
@@ -756,9 +865,18 @@ func (c *CPU) cond(op isa.Op) bool {
 }
 
 // Run executes until the CPU leaves the Running state or maxSteps
-// instructions retire, and returns the final state. The policy checkers
-// are (re)bound once at entry; Step rebinds only if the Policy field
-// changes mid-run (e.g. a trap handler installing a PMA).
+// instructions retire, and returns the final state. Whenever the machine
+// configuration allows it — the block engine is enabled, no tracer is
+// observing, no breakpoints are armed — execution proceeds basic-block-
+// at-a-time through the block cache (block.go); otherwise, and whenever
+// a Policy that cannot summarize blocks is installed, Run falls back to
+// the single-step reference engine. Both engines are bit-identical,
+// including the StepLimit point: a block that would exceed the budget
+// partially retires and stops exactly at maxSteps.
+//
+// The policy checkers are (re)bound once at entry and once per
+// dispatched block; Step rebinds only if the Policy field changes
+// mid-run (e.g. a trap handler installing a PMA).
 func (c *CPU) Run(maxSteps uint64) State {
 	c.ensureBound()
 	budget := c.Steps + maxSteps
@@ -767,7 +885,11 @@ func (c *CPU) Run(maxSteps uint64) State {
 			c.state = StepLimit
 			break
 		}
-		c.Step()
+		if UseBlockEngine && c.Tracer == nil && len(c.breaks) == 0 {
+			c.blockStep(budget)
+		} else {
+			c.Step()
+		}
 	}
 	return c.state
 }

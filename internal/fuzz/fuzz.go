@@ -159,10 +159,10 @@ func (o ExecOutcome) String() string {
 type ExecResult struct {
 	Outcome  ExecOutcome
 	State    cpu.State
-	Fault    string // fault description for Crashed/Detected
-	Sig      string // crash signature (fault kind @ IP), set when Crashed
-	NewEdges int    // coverage bits this input set that no earlier one did
-	Steps    uint64 // instructions retired
+	Fault    *cpu.Fault // the fault that stopped the run, nil otherwise
+	Sig      string     // crash signature (fault kind @ IP), set when Crashed
+	NewEdges int        // coverage bits this input set that no earlier one did
+	Steps    uint64     // instructions retired
 }
 
 // Result is the deterministic summary of a campaign. All fields derive
@@ -341,13 +341,28 @@ func (c *Campaign) Execute(input []byte) (ExecResult, error) {
 	r := ExecResult{State: st, Steps: c.proc.CPU.Steps}
 	r.Outcome = c.classify(st)
 	if f := c.proc.CPU.Fault(); f != nil {
-		r.Fault = f.Error()
+		r.Fault = f
 		if r.Outcome == Crashed {
-			r.Sig = fmt.Sprintf("%s@%08x", f.Kind, f.IP)
+			r.Sig = crashSig(f)
 		}
 	}
 	r.NewEdges = c.execCov.NewBits(&c.virgin)
 	return r, nil
+}
+
+// crashSig renders the crash signature "<kind>@<ip>" without fmt: most
+// executions of a campaign crash, and reflective formatting on that path
+// was a measurable slice of campaign wall-clock (full fault descriptions
+// are rendered lazily, only for the one first-crash record).
+func crashSig(f *cpu.Fault) string {
+	const hexd = "0123456789abcdef"
+	var b [8]byte
+	ip := f.IP
+	for i := 7; i >= 0; i-- {
+		b[i] = hexd[ip&0xF]
+		ip >>= 4
+	}
+	return f.Kind.String() + "@" + string(b[:])
 }
 
 // exploitMarkers are output substrings whose appearance means the run
@@ -426,7 +441,9 @@ func (c *Campaign) record(input []byte, r ExecResult) {
 		if c.res.FirstCrashExec < 0 {
 			c.res.FirstCrashExec = n
 			c.res.FirstCrashInput = append([]byte(nil), input...)
-			c.res.FirstCrashFault = r.Fault
+			if r.Fault != nil {
+				c.res.FirstCrashFault = r.Fault.Error()
+			}
 		}
 		if r.Sig != "" && !c.crashSigs[r.Sig] {
 			c.crashSigs[r.Sig] = true

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"softsec/internal/cpu"
 	"softsec/internal/harness"
 )
 
@@ -35,7 +36,7 @@ func TestFindsSeededCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	if r.Outcome != Crashed {
-		t.Fatalf("recorded crash input did not reproduce: %v (%s)", r.Outcome, r.Fault)
+		t.Fatalf("recorded crash input did not reproduce: %v (%v)", r.Outcome, r.State)
 	}
 }
 
@@ -134,7 +135,7 @@ func TestExploitOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	if r.Outcome != Exploited {
-		t.Fatalf("outcome = %v (%s), want Exploited", r.Outcome, r.Fault)
+		t.Fatalf("outcome = %v (%v), want Exploited", r.Outcome, r.State)
 	}
 }
 
@@ -231,8 +232,21 @@ func TestExecResetIsComplete(t *testing.T) {
 		}
 		if i == 0 {
 			first = r
-		} else if r != first {
+		} else if !execResultEqual(r, first) {
 			t.Fatalf("iter %d: crash drifted: %+v vs %+v", i, r, first)
 		}
 	}
+}
+
+// execResultEqual compares results by value; the Fault field is a
+// pointer (a fresh object per fault), so it is compared by rendering.
+func execResultEqual(a, b ExecResult) bool {
+	fs := func(f *cpu.Fault) string {
+		if f == nil {
+			return ""
+		}
+		return f.Error()
+	}
+	return a.Outcome == b.Outcome && a.State == b.State && a.Sig == b.Sig &&
+		a.NewEdges == b.NewEdges && a.Steps == b.Steps && fs(a.Fault) == fs(b.Fault)
 }

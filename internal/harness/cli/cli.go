@@ -1,0 +1,98 @@
+// Package cli is the shared command-line plumbing of the harness-driven
+// binaries. cmd/secsim and cmd/attacklab both sweep registered scenarios
+// across the trial engine; before this package each re-declared the
+// -trials/-jobs/-seed/-json/-scenarios/-group flags and re-implemented
+// group selection, listing, and report output, and the two had already
+// drifted (different unknown-group handling, different listings). Both
+// now register one Sweep and cannot drift: flag names, defaults, help
+// strings, the unknown-group error, the scenario listing format, and
+// JSON-vs-table rendering live here.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+
+	"softsec/internal/harness"
+)
+
+// Sweep holds the flag values shared by every harness-driven binary.
+type Sweep struct {
+	Trials int
+	Jobs   int
+	Seed   int64
+	JSON   bool
+	// List is the -scenarios flag: print the catalog instead of running.
+	List bool
+	// Group restricts selection (and the -scenarios listing) to one
+	// scenario group.
+	Group string
+}
+
+// Register installs the shared sweep flags on fs with uniform names and
+// help strings. seedDefault preserves each binary's historical default
+// base seed.
+func (s *Sweep) Register(fs *flag.FlagSet, seedDefault int64) {
+	fs.IntVar(&s.Trials, "trials", 1, "independent trials per cell")
+	fs.IntVar(&s.Jobs, "jobs", runtime.NumCPU(), "worker-pool width for sweeps")
+	fs.Int64Var(&s.Seed, "seed", seedDefault, "base seed for per-trial seed derivation")
+	fs.BoolVar(&s.JSON, "json", false, "emit the aggregate report as JSON")
+	fs.BoolVar(&s.List, "scenarios", false, "list every registered harness scenario")
+	fs.StringVar(&s.Group, "group", "", "restrict to one scenario group (see -scenarios)")
+}
+
+// Options converts the flag values into engine options.
+func (s *Sweep) Options() harness.Options {
+	return harness.Options{Trials: s.Trials, Jobs: s.Jobs, BaseSeed: s.Seed}
+}
+
+// Select resolves the group selection against reg: the named group when
+// group is non-empty, every scenario otherwise. An unknown or empty
+// group is an error (the shared unknown-group behavior both binaries now
+// inherit).
+func Select(reg *harness.Registry, group string) ([]harness.Scenario, error) {
+	if group == "" {
+		return reg.All(), nil
+	}
+	scs := reg.Group(group)
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("no scenarios in group %q (try -scenarios)", group)
+	}
+	return scs, nil
+}
+
+// PrintScenarios writes the catalog listing — every scenario, or one
+// group when s.Group is set.
+func (s *Sweep) PrintScenarios(w io.Writer, reg *harness.Registry) error {
+	scs, err := Select(reg, s.Group)
+	if err != nil {
+		return err
+	}
+	for _, sc := range scs {
+		fmt.Fprintf(w, "%-44s group=%s\n", sc.Name, sc.Group)
+	}
+	return nil
+}
+
+// Run executes the scenarios under s's sweep options and writes the
+// report to w — JSON when -json was given, the rendered success-rate
+// table otherwise. The report is returned for exit-code decisions.
+func (s *Sweep) Run(w io.Writer, scs []harness.Scenario) (*harness.Report, error) {
+	rep := harness.Run(scs, s.Options())
+	if s.JSON {
+		b, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	if _, err := io.WriteString(w, rep.Render()); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

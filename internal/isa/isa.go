@@ -455,6 +455,60 @@ func IsControlFlow(op Op) bool {
 	return false
 }
 
+// Basic-block metadata, consumed by the CPU's block execution engine.
+// Tabled (rather than switched) because the block builder consults it for
+// every decoded instruction.
+var endsBlock [numOps]bool
+var writesMem [numOps]bool
+var writesStack [numOps]bool
+
+func init() {
+	// Terminators: every instruction after which straight-line decoding
+	// cannot continue — control transfers (conditional jumps end a block
+	// for both outcomes), machine stops, and INT, whose trap handler may
+	// change machine state, policy, or memory under the block.
+	for _, op := range []Op{
+		CALL, CALLR, RET, JMP, JMPR,
+		JZ, JNZ, JL, JG, JLE, JGE, JB, JA, JAE, JBE,
+		HLT, TRAP, INT,
+	} {
+		endsBlock[op] = true
+	}
+	// Ops that write data memory on the sequential path. CALL/CALLR/INT
+	// also push, but they are terminators, so the block engine's mid-block
+	// self-modification revalidation never needs to consider them.
+	for _, op := range []Op{PUSH, PUSHI, STOREW, STOREB} {
+		writesMem[op] = true
+	}
+	// Ops that write the stack page just below the current ESP — the one
+	// data write a straight-line block can be proven to make. CALL/CALLR
+	// qualify too: a block containing one (as its terminator) pushes the
+	// return address before transferring.
+	for _, op := range []Op{PUSH, PUSHI, CALL, CALLR} {
+		writesStack[op] = true
+	}
+}
+
+// EndsBlock reports whether op terminates a basic block: after it, the
+// next instruction pointer is not (statically) the next sequential
+// address, or the machine may stop or be reconfigured (HLT, TRAP, INT).
+func EndsBlock(op Op) bool { return endsBlock[op] }
+
+// WritesMem reports whether op stores to data memory on the sequential
+// path (PUSH/PUSHI/STOREW/STOREB). The block engine revalidates its
+// cached decode after any such store, so code that rewrites the block
+// currently executing is picked up exactly as the stepping engine would.
+func WritesMem(op Op) bool { return writesMem[op] }
+
+// WritesStack reports whether op stores through ESP
+// (PUSH/PUSHI/CALL/CALLR). Blocks containing such ops provably dirty
+// the page just below the entry ESP, which lets the block engine hoist
+// the snapshot undo-log first-touch save for that page to block entry.
+// Stack reads (POP/LEAVE/RET) deliberately do not qualify: pretouching
+// for them would dirty the undo log — and force a page re-copy on every
+// restore — for pages the block never writes.
+func WritesStack(op Op) bool { return writesStack[op] }
+
 // IsIndirect reports whether op transfers control to a value taken from a
 // register or the stack — the transfers a code-reuse attack hijacks and the
 // ones the SFI rewriter and secure compiler must guard.

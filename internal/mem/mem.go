@@ -11,9 +11,18 @@
 // pages each, covering the 2^20 page numbers of the 32-bit space) plus a
 // one-entry translation cache remembering the last page hit, so the
 // sequential and loop-heavy access patterns of the interpreter resolve
-// without walking the table. A generation counter (CodeGen) increments on
-// every event that could change the bytes or executability of mapped code;
-// the CPU's decoded-instruction cache subscribes to it for invalidation.
+// without walking the table.
+//
+// Code-cache invalidation is two-tier. A structural generation counter
+// (CodeGen) increments on every event that changes the shape of the
+// address space — Map, Unmap, Protect — and invalidates every cached
+// decode at once. Content writes that could change code (checked writes
+// landing on an executable page, LoadRaw, PokeWord) instead bump a
+// per-page write generation, exposed through CodeStamp, so the CPU's
+// decode and block caches are invalidated only for the page actually
+// written. This is what keeps the caches warm through the no-DEP fuzzing
+// workload, where every page is RWX and every data write used to count as
+// potential self-modification of all code everywhere.
 package mem
 
 import "fmt"
@@ -109,6 +118,12 @@ type page struct {
 	// seq stamps the checkpoint epoch this page was last saved under
 	// (see snapshot.go); zero means never saved.
 	seq uint64
+	// wgen is the page's write generation: it increments on every content
+	// write that could change code on this page (checked writes while the
+	// page is executable, raw pokes and loads, checkpoint rollbacks). Code
+	// caches record (&wgen, wgen) at fill time via CodeStamp and treat any
+	// change as invalidation of decodes over this page only.
+	wgen uint64
 }
 
 type l2table [l2Size]*page
@@ -177,14 +192,32 @@ func (m *Memory) setPage(pn uint32, p *page) {
 	t[pn&l2Mask] = p
 }
 
-// CodeGen returns the current code generation. It increments on every
-// event that could change the bytes or the executability of mapped code:
-// Map, Unmap and Protect, raw writes (LoadRaw, PokeWord), and permission-
-// checked writes that land on an executable page. The CPU's decoded-
-// instruction cache treats any change as a full invalidation, so a cached
-// decode is valid exactly while the generation it was filled under is
-// still current.
+// CodeGen returns the current structural code generation. It increments
+// on every event that changes the shape or executability of the address
+// space: Map, Unmap and Protect. The CPU's decode and block caches treat
+// any change as a full invalidation. Content writes do not bump it — they
+// bump the written page's write generation instead (see CodeStamp), so a
+// cached decode is valid exactly while both the structural generation it
+// was filled under and the write stamps of the pages it spans are still
+// current.
 func (m *Memory) CodeGen() uint64 { return m.gen }
+
+// CodeStamp returns the write-generation stamp for code at addr: a
+// pointer to the owning page's write-generation counter plus its current
+// value. A cached decode spanning addr is content-valid while the pointed-
+// to counter still equals the returned value (page identity changes are
+// covered separately by CodeGen). Returns (nil, 0) when addr is unmapped.
+//
+// The pointer stays valid for the lifetime of the page object; consumers
+// must pair it with a CodeGen check, which catches the page being
+// unmapped or replaced.
+func (m *Memory) CodeStamp(addr uint32) (*uint64, uint64) {
+	p := m.page(addr)
+	if p == nil {
+		return nil, 0
+	}
+	return &p.wgen, p.wgen
+}
 
 // Map maps [addr, addr+size) with the given permissions. addr and size must
 // be page-aligned and the range must not overlap an existing mapping.
@@ -305,7 +338,7 @@ func (m *Memory) Write8(addr uint32, v byte) error {
 	m.touch(addr, p)
 	p.data[addr&PageMask] = v
 	if p.perm&X != 0 {
-		m.gen++ // self-modifying code on a writable+executable page
+		p.wgen++ // self-modifying code on a writable+executable page
 	}
 	return nil
 }
@@ -359,7 +392,7 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 		p.data[o+2] = byte(v >> 16)
 		p.data[o+3] = byte(v >> 24)
 		if p.perm&X != 0 {
-			m.gen++
+			p.wgen++
 		}
 		return nil
 	}
@@ -428,7 +461,7 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
 		m.touch(a, p)
 		nc := copy(p.data[a&PageMask:], b[written:])
 		if p.perm&X != 0 {
-			m.gen++
+			p.wgen++
 		}
 		written += nc
 	}
@@ -437,24 +470,18 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
 
 // LoadRaw copies b into memory ignoring permissions (loader/kernel use,
 // and the machine-code attacker running in kernel mode). Any raw load
-// bumps the code generation: the bytes written may be (or become) code.
+// bumps the write generation of every page it touches: the bytes written
+// may be (or become) code.
 func (m *Memory) LoadRaw(addr uint32, b []byte) error {
-	dirty := false
 	for off := 0; off < len(b); {
 		a := addr + uint32(off)
 		p := m.page(a)
 		if p == nil {
-			if dirty {
-				m.gen++
-			}
 			return &Fault{Kind: FaultUnmapped, Addr: a, Access: W}
 		}
 		m.touch(a, p)
 		off += copy(p.data[a&PageMask:], b[off:])
-		dirty = true
-	}
-	if dirty {
-		m.gen++
+		p.wgen++
 	}
 	return nil
 }
@@ -497,7 +524,8 @@ func (m *Memory) PeekWord(addr uint32) uint32 {
 }
 
 // PokeWord writes a word ignoring permissions. It is a no-op on unmapped
-// addresses. Like LoadRaw, a successful poke bumps the code generation.
+// addresses. Like LoadRaw, a successful poke bumps the write generation
+// of the touched page(s).
 func (m *Memory) PokeWord(addr uint32, v uint32) {
 	if addr&PageMask <= PageSize-4 {
 		p := m.page(addr)
@@ -510,19 +538,15 @@ func (m *Memory) PokeWord(addr uint32, v uint32) {
 		p.data[o+1] = byte(v >> 8)
 		p.data[o+2] = byte(v >> 16)
 		p.data[o+3] = byte(v >> 24)
-		m.gen++
+		p.wgen++
 		return
 	}
-	dirty := false
 	for i := uint32(0); i < 4; i++ {
 		if p := m.page(addr + i); p != nil {
 			m.touch(addr+i, p)
 			p.data[(addr+i)&PageMask] = byte(v >> (8 * i))
-			dirty = true
+			p.wgen++
 		}
-	}
-	if dirty {
-		m.gen++
 	}
 }
 

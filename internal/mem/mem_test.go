@@ -346,90 +346,120 @@ func TestCloneIndependentCaches(t *testing.T) {
 		t.Fatalf("original write reached clone (got %#x)", v)
 	}
 
-	// Generation counters advance independently.
-	g0 := c.CodeGen()
+	// Write stamps advance independently: the clone's pages are fresh
+	// objects, so a poke on the original never moves a clone stamp.
+	_, cg0 := c.CodeStamp(0x1000)
 	m.PokeWord(0x1000, 0x44444444)
-	if c.CodeGen() != g0 {
-		t.Fatal("original's generation bump leaked into clone")
+	if _, g := c.CodeStamp(0x1000); g != cg0 {
+		t.Fatal("original's write stamp bump leaked into clone")
 	}
 	c.PokeWord(0x1000, 0x55555555)
-	if c.CodeGen() == g0 {
-		t.Fatal("clone's own poke did not bump its generation")
+	if _, g := c.CodeStamp(0x1000); g == cg0 {
+		t.Fatal("clone's own poke did not bump its write stamp")
 	}
 }
 
-// TestCodeGenEvents pins down exactly which events bump the code
-// generation the CPU's decode cache subscribes to.
+// TestCodeGenEvents pins down exactly which events bump which tier of
+// the invalidation the CPU's decode and block caches subscribe to:
+// structural events move CodeGen (full invalidation), content writes
+// that could change code move the touched page's CodeStamp (per-page
+// invalidation), and reads move nothing.
 func TestCodeGenEvents(t *testing.T) {
 	m := New()
-	bumped := func(name string, f func()) {
+	structural := func(name string, f func()) {
 		t.Helper()
 		g := m.CodeGen()
 		f()
 		if m.CodeGen() == g {
-			t.Fatalf("%s did not bump the code generation", name)
+			t.Fatalf("%s did not bump the structural code generation", name)
 		}
 	}
-	unchanged := func(name string, f func()) {
+	pageWrite := func(name string, addr uint32, f func()) {
+		t.Helper()
+		g0 := m.CodeGen()
+		_, w0 := m.CodeStamp(addr)
+		f()
+		if _, w := m.CodeStamp(addr); w == w0 {
+			t.Fatalf("%s did not bump the page write stamp", name)
+		}
+		if m.CodeGen() != g0 {
+			t.Fatalf("%s bumped the structural generation (should be page-local)", name)
+		}
+	}
+	unchanged := func(name string, addr uint32, f func()) {
 		t.Helper()
 		g := m.CodeGen()
+		_, w0 := m.CodeStamp(addr)
 		f()
 		if m.CodeGen() != g {
-			t.Fatalf("%s bumped the code generation", name)
+			t.Fatalf("%s bumped the structural code generation", name)
+		}
+		if _, w := m.CodeStamp(addr); w != w0 {
+			t.Fatalf("%s bumped the page write stamp", name)
 		}
 	}
 
-	bumped("Map", func() { mustMap(t, m, 0x1000, PageSize, RWX) })
-	bumped("Map data", func() { mustMap(t, m, 0x2000, PageSize, RW) })
-	bumped("Protect", func() {
+	structural("Map", func() { mustMap(t, m, 0x1000, PageSize, RWX) })
+	structural("Map data", func() { mustMap(t, m, 0x2000, PageSize, RW) })
+	structural("Protect", func() {
 		if err := m.Protect(0x2000, PageSize, RW); err != nil {
 			t.Fatal(err)
 		}
 	})
-	bumped("Write8 to X page", func() {
+	pageWrite("Write8 to X page", 0x1000, func() {
 		if err := m.Write8(0x1000, 0x90); err != nil {
 			t.Fatal(err)
 		}
 	})
-	bumped("Write32 to X page", func() {
+	pageWrite("Write32 to X page", 0x1000, func() {
 		if err := m.Write32(0x1004, 0x90909090); err != nil {
 			t.Fatal(err)
 		}
 	})
-	bumped("WriteBytes to X page", func() {
+	pageWrite("WriteBytes to X page", 0x1000, func() {
 		if _, err := m.WriteBytes(0x1008, []byte{1, 2}); err != nil {
 			t.Fatal(err)
 		}
 	})
-	bumped("LoadRaw", func() {
+	pageWrite("LoadRaw", 0x2000, func() {
 		if err := m.LoadRaw(0x2000, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	})
-	bumped("PokeWord", func() { m.PokeWord(0x2000, 7) })
-	bumped("Unmap", func() {
+	pageWrite("PokeWord", 0x2000, func() { m.PokeWord(0x2000, 7) })
+	// A write to one page must not disturb another page's stamp.
+	unchanged("Write8 to X page (other page's stamp)", 0x2000, func() {
+		if err := m.Write8(0x1000, 0x91); err != nil {
+			t.Fatal(err)
+		}
+	})
+	structural("Unmap", func() {
 		if err := m.Unmap(0x1000, PageSize); err != nil {
 			t.Fatal(err)
 		}
 	})
 
-	unchanged("Write8 to data page", func() {
+	unchanged("Write8 to data page", 0x2000, func() {
 		if err := m.Write8(0x2000, 1); err != nil {
 			t.Fatal(err)
 		}
 	})
-	unchanged("Write32 to data page", func() {
+	unchanged("Write32 to data page", 0x2000, func() {
 		if err := m.Write32(0x2004, 1); err != nil {
 			t.Fatal(err)
 		}
 	})
-	unchanged("Read8", func() {
+	unchanged("Read8", 0x2000, func() {
 		if _, err := m.Read8(0x2000); err != nil {
 			t.Fatal(err)
 		}
 	})
-	unchanged("PeekWord", func() { m.PeekWord(0x2000) })
-	unchanged("PokeWord unmapped", func() { m.PokeWord(0x9000, 7) })
+	unchanged("PeekWord", 0x2000, func() { m.PeekWord(0x2000) })
+	unchanged("PokeWord unmapped", 0x2000, func() { m.PokeWord(0x9000, 7) })
+
+	if ref, _ := m.CodeStamp(0x9000); ref != nil {
+		t.Fatal("CodeStamp of unmapped address must return nil")
+	}
 }
 
 // TestBulkOpsCrossPages covers the chunked page-at-a-time copy paths.

@@ -15,24 +15,28 @@ import "fmt"
 // active, the first mutation of each page — a permission-checked write, a
 // raw poke or load, a Protect, an Unmap, or a Map of a fresh page —
 // saves that page's pre-checkpoint state (or the fact that it did not
-// exist) keyed by page number. Restore walks the log and puts every
-// recorded page back. The log keeps its entries across restores: an
-// entry already holds the checkpoint-time truth, so pages the workload
-// touches on every iteration are saved exactly once for the lifetime of
-// the checkpoint and re-copied on each restore.
+// exist) keyed by page number, and records the page on the dirty list of
+// the current mutate-restore cycle. Restore walks only the dirty list:
+// pages untouched since the previous restore are already at their
+// checkpoint content and cost nothing, so a reset is proportional to the
+// pages the *last run* dirtied, not to everything any run ever touched.
+// The log keeps its entries across restores — an entry already holds the
+// checkpoint-time truth, so a page re-dirtied in a later cycle re-enters
+// the dirty list with a cheap map hit, never a second page copy.
 //
 // The hot write path pays one nil test when no checkpoint is active, and
 // one generation compare (page.seq) when one is — the per-page map
 // lookup happens only on first touch.
 //
-// Decode-cache interaction: Restore leaves the generation counter alone
-// when nothing bumped it since the checkpoint (then only non-executable
-// data pages can be in the log, so cached decodes are still valid and
-// stay warm across resets — the fuzzing fast path). If anything did bump
-// it — self-modifying code, mapping or permission changes — Restore
-// moves to a fresh, never-cached generation, invalidating every decode
-// cache over this space, because intermediate generations may have been
-// cached against byte contents the rollback just rewrote.
+// Decode-cache interaction: Restore bumps the write generation of every
+// page whose content it rolls back, so decodes cached against the
+// mutated-run bytes of exactly those pages are invalidated — and no
+// others. Pages never written since the checkpoint (under DEP, all of
+// text) keep their stamps, so their cached decodes and blocks stay warm
+// across resets — the fuzzing fast path. Structural changes (Map, Unmap,
+// Protect) since the checkpoint additionally force a fresh, never-cached
+// structural generation at restore, because page identities may have
+// changed under cached entries.
 
 // undoPage records the pre-checkpoint content and permissions of one
 // page. A nil *undoPage in the log means "no page existed here at
@@ -52,6 +56,12 @@ type Checkpoint struct {
 	gen    uint64
 	npages int
 	pages  map[uint32]*undoPage
+	// dirty lists the pages touched since the last Restore (or since the
+	// checkpoint was taken). Restore processes exactly this list. A page
+	// appears at most once per cycle — the page.seq stamp suppresses
+	// repeats — except for a harmless unmap/remap duplicate, which
+	// Restore handles idempotently.
+	dirty []uint32
 }
 
 // Checkpoint begins tracking mutations so a later Restore can roll the
@@ -86,7 +96,11 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 	if m.snap != cp {
 		return fmt.Errorf("mem: Restore: checkpoint is not active for this memory")
 	}
-	for pn, u := range cp.pages {
+	for _, pn := range cp.dirty {
+		u, logged := cp.pages[pn]
+		if !logged {
+			continue // duplicate dirty record whose entry was consumed
+		}
 		cur := m.pageAt(pn)
 		if u != nil {
 			if cur == nil {
@@ -96,9 +110,13 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 			}
 			cur.data = u.data
 			cur.perm = u.perm
-			// The entry already holds the checkpoint-time truth; mark the
-			// page saved so post-restore writes skip the log.
-			cur.seq = cp.seq
+			// Back to checkpoint content and un-saved: the next write in
+			// the next cycle re-dirties the page (cheap — the log entry
+			// already exists, so no second page copy ever happens).
+			cur.seq = 0
+			// The rollback rewrote this page's bytes: decodes cached
+			// against the mutated-run content must not survive.
+			cur.wgen++
 		} else {
 			if cur != nil {
 				m.setPage(pn, nil)
@@ -111,30 +129,52 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 			delete(cp.pages, pn)
 		}
 	}
+	cp.dirty = cp.dirty[:0]
 	if m.npages != cp.npages {
 		return fmt.Errorf("mem: Restore: page accounting diverged (%d != %d)", m.npages, cp.npages)
 	}
 	m.lastPN, m.lastPage = 0, nil
 	if m.gen != cp.gen {
-		// Mapping, permission or code changes happened since the
-		// checkpoint; intermediate generations may be cached against
-		// bytes the rollback just replaced, so move to a fresh one —
-		// and resync the checkpoint to it. Post-restore memory is
-		// byte-identical to checkpoint time, so decodes minted at the
-		// fresh generation encode checkpoint bytes and stay valid
-		// across future restores: one divergent run must not condemn
-		// the rest of the campaign to cold decode caches.
+		// Mapping or permission changes happened since the checkpoint;
+		// page identities under cached entries may have changed, so move
+		// to a fresh structural generation — and resync the checkpoint to
+		// it. Post-restore memory is byte-identical to checkpoint time,
+		// so decodes minted at the fresh generation encode checkpoint
+		// bytes and stay valid across future restores: one divergent run
+		// must not condemn the rest of the campaign to cold decode
+		// caches.
 		m.gen++
 		cp.gen = m.gen
 	}
 	return nil
 }
 
-// save records page p (number pn) in the undo log if this is its first
-// touch since the checkpoint, and stamps it saved. Callers must invoke
-// it before mutating the page.
+// PretouchWrite pre-saves the page containing addr into the active
+// checkpoint's undo log, as if a write to addr had just occurred (a no-op
+// without an active checkpoint, for an already-saved page, or for an
+// unmapped address). The CPU's block engine calls it once at block entry
+// for the stack page a block's PUSH/CALL run provably writes, hoisting
+// the undo log's first-touch bookkeeping out of the per-write path: the
+// in-block epoch compares then always take the already-saved fast branch.
+// Saving a page that then is not written is harmless — restore puts back
+// bytes that never changed.
+func (m *Memory) PretouchWrite(addr uint32) {
+	if m.snap == nil {
+		return
+	}
+	if p := m.page(addr); p != nil && p.seq != m.snap.seq {
+		m.snap.save(addr>>pageShift, p)
+	}
+}
+
+// save records page p (number pn) on this cycle's dirty list — and, on
+// the page's first-ever touch under this checkpoint, copies its
+// pre-checkpoint state into the undo log — then stamps it saved so the
+// cycle's further writes skip the log entirely. Callers must invoke it
+// before mutating the page.
 func (cp *Checkpoint) save(pn uint32, p *page) {
 	p.seq = cp.seq
+	cp.dirty = append(cp.dirty, pn)
 	if _, ok := cp.pages[pn]; ok {
 		return
 	}
@@ -144,8 +184,9 @@ func (cp *Checkpoint) save(pn uint32, p *page) {
 }
 
 // saveAbsent records that no page existed at pn at checkpoint time (the
-// page is being created by Map).
+// page is being created by Map), dirtying the cycle.
 func (cp *Checkpoint) saveAbsent(pn uint32) {
+	cp.dirty = append(cp.dirty, pn)
 	if _, ok := cp.pages[pn]; ok {
 		return
 	}

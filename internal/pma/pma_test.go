@@ -488,3 +488,53 @@ func newDetRand() func() uint32 {
 		return state % 0xD000
 	}
 }
+
+// TestCompileBlockCheck pins the block-span summary against the access
+// rules: spans inside module code or fully outside are summarizable,
+// anything touching module data or straddling a boundary is refused
+// (conservative fallback to stepping), and dataFree holds only for a
+// module-less policy.
+func TestCompileBlockCheck(t *testing.T) {
+	mod := Module{
+		Name:      "m",
+		CodeStart: 0x1000, CodeEnd: 0x2000,
+		DataStart: 0x3000, DataEnd: 0x4000,
+		Entries: []uint32{0x1000},
+	}
+	pol, err := NewPolicy(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		start, end uint32
+		ok         bool
+	}{
+		{"inside code", 0x1100, 0x1200, true},
+		{"inside code to exact end", 0x1100, 0x2000, true},
+		{"outside everything", 0x5000, 0x5040, true},
+		{"just below code", 0x0f00, 0x0fff, true},
+		{"straddles code entry", 0x0f80, 0x1080, false},
+		{"straddles code exit", 0x1f80, 0x2080, false},
+		{"overlaps data", 0x2f80, 0x3010, false},
+		{"inside data", 0x3100, 0x3200, false},
+		{"ends at data start", 0x2f00, 0x3000, false},
+	}
+	for _, tc := range cases {
+		dataFree, ok := pol.CompileBlockCheck(tc.start, tc.end)
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+		}
+		if dataFree {
+			t.Errorf("%s: dataFree must never hold with a module installed", tc.name)
+		}
+	}
+
+	empty, err := NewPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dataFree, ok := empty.CompileBlockCheck(0x1000, 0x2000); !dataFree || !ok {
+		t.Errorf("module-less policy: got (%v, %v), want (true, true)", dataFree, ok)
+	}
+}

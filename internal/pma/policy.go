@@ -26,11 +26,13 @@ import (
 	"softsec/internal/kernel"
 )
 
-// Policy implements both the mandatory checker interface and the optional
-// compiled fast path the CPU binds at Run entry.
+// Policy implements the mandatory checker interface, the optional
+// compiled fast path the CPU binds at Run entry, and the block-span
+// summarizer the basic-block engine consults once per block.
 var (
-	_ cpu.Policy        = (*Policy)(nil)
-	_ cpu.CheckCompiler = (*Policy)(nil)
+	_ cpu.Policy             = (*Policy)(nil)
+	_ cpu.CheckCompiler      = (*Policy)(nil)
+	_ cpu.BlockCheckCompiler = (*Policy)(nil)
 )
 
 // Module describes one protected module's memory layout.
@@ -287,6 +289,42 @@ func max32(a, b uint32) uint32 {
 		return a
 	}
 	return b
+}
+
+// CompileBlockCheck implements cpu.BlockCheckCompiler: it summarizes the
+// three access rules over a straight-line span [start, end] (end being
+// the fall-through target) so the block engine can skip the per-
+// instruction sequential exec checks.
+//
+// Sequential transfers inside a span are provably allowed when, for
+// every module, the span either lies entirely within the module's code
+// (rule 2 internal flow; a final fall-through to exactly CodeEnd leaves
+// the module, which is free) or touches neither its code nor its data.
+// Any other relationship — the span straddles a module boundary, or
+// overlaps module data (where a sequential target would be an exec-data
+// violation) — is answered conservatively: the engine steps the span and
+// the Check* methods reproduce the exact Violation.
+//
+// Data accesses are never provably free under a PMA: every load and
+// store address is dynamic, and rules 1/2 depend on where it lands, so
+// dataFree is true only for the degenerate module-less policy.
+func (p *Policy) CompileBlockCheck(start, end uint32) (dataFree, ok bool) {
+	for i := range p.modules {
+		m := &p.modules[i]
+		// Overlap of the closed span [start, end] with [lo, hi).
+		overlaps := func(lo, hi uint32) bool {
+			return lo < hi && start < hi && end >= lo
+		}
+		if overlaps(m.DataStart, m.DataEnd) {
+			return false, false
+		}
+		inside := start >= m.CodeStart && start < m.CodeEnd &&
+			end >= m.CodeStart && end <= m.CodeEnd
+		if !inside && overlaps(m.CodeStart, m.CodeEnd) {
+			return false, false
+		}
+	}
+	return len(p.modules) == 0, true
 }
 
 // Protect installs the policy on a process and returns it, mirroring the

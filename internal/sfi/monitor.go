@@ -27,8 +27,9 @@ type Monitor struct {
 }
 
 var (
-	_ cpu.Policy        = (*Monitor)(nil)
-	_ cpu.CheckCompiler = (*Monitor)(nil)
+	_ cpu.Policy             = (*Monitor)(nil)
+	_ cpu.CheckCompiler      = (*Monitor)(nil)
+	_ cpu.BlockCheckCompiler = (*Monitor)(nil)
 )
 
 // EscapeError is a sandbox-escape attempt caught by the Monitor. It
@@ -78,6 +79,28 @@ func (mo *Monitor) CheckExec(from, to uint32) error {
 		return &EscapeError{Kind: "branch", IP: from, Addr: to}
 	}
 	return nil
+}
+
+// CompileBlockCheck implements cpu.BlockCheckCompiler over the span
+// [start, end] (end = fall-through target). Host spans — no instruction
+// of the block lies in the module text — are fully free: the monitor
+// restricts only module code, so both the sequential transfers and every
+// data access are allowed regardless of addresses (dataFree). Spans
+// entirely inside the module are free to flow sequentially as long as
+// the final fall-through stays inside too; their data accesses remain
+// dynamically checked against the sandbox. A span that straddles the
+// module boundary (including one whose fall-through would leave the
+// module — a branch escape the monitor must fault) is refused, and the
+// stepping engine reproduces the exact EscapeError.
+func (mo *Monitor) CompileBlockCheck(start, end uint32) (dataFree, ok bool) {
+	cs, ce := mo.CodeStart, mo.CodeEnd
+	if end < cs || start >= ce { // [start, end] disjoint from module text
+		return true, true
+	}
+	if start >= cs && end < ce { // entirely inside, fall-through included
+		return false, true
+	}
+	return false, false
 }
 
 // CompileChecks implements cpu.CheckCompiler, hoisting the bounds loads

@@ -89,3 +89,32 @@ main:
 		t.Fatalf("fault %v, want branch EscapeError", p.CPU.Fault())
 	}
 }
+
+// TestMonitorCompileBlockCheck pins the block-span summary: host spans
+// are fully free (dataFree), in-module spans flow sequentially but keep
+// dynamic sandbox checks, and boundary-straddling spans (including a
+// fall-through that would escape) are refused.
+func TestMonitorCompileBlockCheck(t *testing.T) {
+	mo := &Monitor{
+		Sandbox:   Sandbox{Base: 0x00400000, Size: 0x1000},
+		CodeStart: 0x1000, CodeEnd: 0x2000,
+	}
+	cases := []struct {
+		name         string
+		start, end   uint32
+		dataFree, ok bool
+	}{
+		{"host span", 0x5000, 0x5040, true, true},
+		{"host span ending below module", 0x0f00, 0x0fff, true, true},
+		{"inside module", 0x1100, 0x1200, false, true},
+		{"fall-through escapes", 0x1f00, 0x2000, false, false},
+		{"straddles entry", 0x0f80, 0x1080, false, false},
+	}
+	for _, tc := range cases {
+		dataFree, ok := mo.CompileBlockCheck(tc.start, tc.end)
+		if dataFree != tc.dataFree || ok != tc.ok {
+			t.Errorf("%s: got (%v, %v), want (%v, %v)",
+				tc.name, dataFree, ok, tc.dataFree, tc.ok)
+		}
+	}
+}
