@@ -16,6 +16,7 @@ import (
 	"softsec/internal/asm"
 	"softsec/internal/attack"
 	"softsec/internal/bytecode"
+	"softsec/internal/cfi"
 	"softsec/internal/core"
 	"softsec/internal/cpu"
 	"softsec/internal/figures"
@@ -437,12 +438,17 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 }
 
 // BenchmarkFullReload is the baseline reset: a fresh kernel.Load per
-// execution (link amortized, as a harness would).
+// execution (link amortized, as a harness would). It doubles as the
+// lazy-cache-allocation guard: the quickstart victim runs front to back
+// without re-executing a single address, so the decode and block caches
+// must never allocate — the regression this pins cost a 30 → 55 µs/op
+// slide when the caches were allocated eagerly.
 func BenchmarkFullReload(b *testing.B) {
 	ld := quickstartLinked(b)
 	in := kernel.ScriptInput{[]byte("hello")}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var last *kernel.Process
 	for i := 0; i < b.N; i++ {
 		p, err := kernel.Load(ld, kernel.Config{DEP: true, Input: &in})
 		if err != nil {
@@ -451,6 +457,57 @@ func BenchmarkFullReload(b *testing.B) {
 		if st := p.Run(); st != cpu.Exited {
 			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
 		}
+		last = p
+	}
+	b.StopTimer()
+	if dc, bc := last.CPU.CacheFootprint(); dc || bc {
+		b.Fatalf("one-shot load allocated caches (decode=%v block=%v): lazy allocation regressed", dc, bc)
+	}
+}
+
+// TestFullReloadStaysCacheFree is the benchmark guard as a plain test, so
+// `go test` (not only -bench runs) pins the lazy allocation: a one-shot
+// process allocates neither cache, while a looping process still earns
+// both on its first re-executed address.
+func TestFullReloadStaysCacheFree(t *testing.T) {
+	img, err := minc.Compile("victim", quickstartVictim, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(ld, kernel.Config{DEP: true, Input: &kernel.ScriptInput{[]byte("hello")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if dc, bc := p.CPU.CacheFootprint(); dc || bc {
+		t.Fatalf("one-shot run allocated caches (decode=%v block=%v)", dc, bc)
+	}
+
+	// Control: the looping compute kernel re-executes addresses and must
+	// still invest in both caches.
+	img, err = minc.Compile("kern", kernelSource, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err = kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Run(); st != cpu.Exited {
+		t.Fatalf("state %v fault %v", st, p.CPU.Fault())
+	}
+	if dc, bc := p.CPU.CacheFootprint(); !dc || !bc {
+		t.Fatalf("hot loop did not allocate caches (decode=%v block=%v)", dc, bc)
 	}
 }
 
@@ -470,6 +527,29 @@ func BenchmarkFuzzExecsPerSec(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkFuzzExecsPerSecCFI is the campaign-throughput view of CFI
+// cost: the same mutate/reset/execute/classify loop with the label-table
+// policy enforcing each precision — the exec/sec overhead column of the
+// EXPERIMENTS attack×CFI table.
+func BenchmarkFuzzExecsPerSecCFI(b *testing.B) {
+	for _, prec := range []string{"coarse", "fine"} {
+		b.Run(prec, func(b *testing.B) {
+			c, err := fuzz.New(fuzz.Config{
+				Name: "echo", Source: quickstartVictim, Seed: 1, CFI: prec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.Fuzz(b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+		})
+	}
 }
 
 func BenchmarkT3IsolationMatrix(b *testing.B) {
@@ -755,4 +835,54 @@ func BenchmarkHardeningFull(b *testing.B) {
 // Shadow-stack (CFI) run-time cost on the call-heavy kernel.
 func BenchmarkOverheadShadowStack(b *testing.B) {
 	runOverhead(b, minc.Options{}, kernel.Config{DEP: true, ShadowStack: true})
+}
+
+// --- CFI: label-table enforcement cost --------------------------------
+
+// benchInterpreterCFI is BenchmarkInterpreterSpeed with a CFI policy
+// installed: per iteration it loads the compute kernel, recovers its CFG
+// (the once-per-load static cost) and runs it under label-table checks.
+// Under CFI the block engine refuses spans ending in indirect branches
+// and RETs (they are stepped so the label check runs on the reference
+// path), so this measures the end-to-end price of the acceptance bound:
+// fine CFI must stay within 2× of the no-policy block engine.
+func benchInterpreterCFI(b *testing.B, prec cfi.Precision) {
+	b.Helper()
+	run := func() *kernel.Process {
+		p := buildKernelProc(b, minc.Options{}, kernel.Config{DEP: true})
+		g, err := cfi.Recover(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.CPU.Policy = cfi.NewPolicy(g, prec)
+		if st := p.Run(); st != cpu.Exited {
+			b.Fatalf("state %v fault %v", st, p.CPU.Fault())
+		}
+		return p
+	}
+	total := run().CPU.Steps
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(total), "sim-instrs/op")
+}
+
+func BenchmarkInterpreterSpeedCFICoarse(b *testing.B) { benchInterpreterCFI(b, cfi.Coarse) }
+func BenchmarkInterpreterSpeedCFIFine(b *testing.B)   { benchInterpreterCFI(b, cfi.Fine) }
+
+// BenchmarkCFIRecover isolates the static cost: one CFG recovery over
+// the loaded victim+libc image (linear-sweep decode, symbol seeding,
+// address-taken scrape).
+func BenchmarkCFIRecover(b *testing.B) {
+	p := buildKernelProc(b, minc.Options{}, kernel.Config{DEP: true})
+	base, end := p.TextBounds()
+	b.SetBytes(int64(end - base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfi.Recover(p); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

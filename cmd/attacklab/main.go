@@ -22,6 +22,13 @@
 //
 //	attacklab -group fuzz -scenarios     # list the campaign cells
 //	attacklab -group fuzz -trials 4 -jobs 2
+//
+// The cfi group is the control-flow-integrity precision grid
+// (internal/cfi): every hijack attack against no CFI, coarse label
+// tables, fine address-taken target sets, and fine plus the hardware
+// shadow stack — the coarse-vs-fine bypass story as measured cells.
+//
+//	attacklab -group cfi -trials 8 -jobs 2
 package main
 
 import (

@@ -5,6 +5,8 @@
 //
 //	secsim -attack stack-smash-inject -canary -dep
 //	secsim -attack leak-assisted-ret2libc -canary -dep -aslr -seed 7 -v
+//	secsim -attack jop-entry-reuse -cfi coarse          # the coarse-CFI bypass
+//	secsim -attack jop-entry-reuse -cfi fine -shadowstack
 //
 // Many trials across a worker pool (the harness mode): each trial derives
 // its own deterministic seed from -seed, re-randomizing the ASLR layout
@@ -43,6 +45,8 @@ func main() {
 		dep     = flag.Bool("dep", false, "Data Execution Prevention")
 		aslr    = flag.Bool("aslr", false, "ASLR")
 		checked = flag.Bool("checked", false, "checked dialect + fortified libc")
+		shadow  = flag.Bool("shadowstack", false, "hardware shadow stack (exact backward-edge CFI)")
+		cfiLvl  = flag.String("cfi", "", "control-flow integrity precision: coarse or fine (label-table CFI over the recovered CFG)")
 		verbose = flag.Bool("v", false, "print victim source and output")
 		sweep   cli.Sweep
 	)
@@ -60,7 +64,8 @@ func main() {
 		for _, conflicting := range []struct {
 			set  bool
 			name string
-		}{{*canary, "-canary"}, {*dep, "-dep"}, {*aslr, "-aslr"}, {*checked, "-checked"}} {
+		}{{*canary, "-canary"}, {*dep, "-dep"}, {*aslr, "-aslr"}, {*checked, "-checked"},
+			{*shadow, "-shadowstack"}, {*cfiLvl != "", "-cfi"}} {
 			if conflicting.set {
 				fmt.Fprintf(os.Stderr, "secsim: %s has no effect with -scenario/-scenarios/-group (the cell's mitigation config is baked in)\n", conflicting.name)
 				os.Exit(2)
@@ -82,11 +87,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "secsim: unknown attack %q (try attacklab -list)\n", *name)
 		os.Exit(2)
 	}
+	if *cfiLvl != "" {
+		if _, ok := core.CFIPrecisionByName(*cfiLvl); !ok {
+			fmt.Fprintf(os.Stderr, "secsim: unknown -cfi precision %q (want coarse or fine)\n", *cfiLvl)
+			os.Exit(2)
+		}
+	}
 	m := core.Mitigations{
 		Canary: *canary, CanarySeed: 7,
 		DEP:  *dep,
 		ASLR: *aslr, ASLRSeed: sweep.Seed,
-		Checked: *checked,
+		Checked:     *checked,
+		ShadowStack: *shadow,
+		CFI:         *cfiLvl,
 	}
 
 	if sweep.Trials > 1 || sweep.JSON {

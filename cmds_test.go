@@ -136,4 +136,40 @@ main:
 			t.Fatalf("secsim output:\n%s", out)
 		}
 	})
+
+	t.Run("secsim coarse CFI bypass exits 1", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 1, "-attack", "jop-entry-reuse", "-cfi", "coarse")
+		if !strings.Contains(out, "COMPROMISED") || !strings.Contains(out, "cfi-coarse") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("secsim fine CFI detects exits 0", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 0, "-attack", "jop-entry-reuse", "-cfi", "fine", "-shadowstack")
+		if !strings.Contains(out, "detected") || !strings.Contains(out, "cfi(fine)") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("secsim unknown CFI precision exits 2", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 2, "-attack", "jop-entry-reuse", "-cfi", "medium")
+		if !strings.Contains(out, "unknown -cfi precision") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("secsim -cfi conflicts with -scenario", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 2, "-scenario", "fuzz/echo/none", "-cfi", "fine")
+		if !strings.Contains(out, "-cfi has no effect") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("attacklab cfi grid", func(t *testing.T) {
+		out := runTool(t, bin, "attacklab", 0, "-group", "cfi", "-trials", "1")
+		for _, want := range []string{
+			"cfi/jop-entry-reuse/coarse", "cfi/jop-entry-reuse/fine",
+			"cfi/rop-chain/fine+shadowstack",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("cfi grid missing %s:\n%s", want, out)
+			}
+		}
+	})
 }

@@ -9,9 +9,11 @@ package softsec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"softsec/internal/asm"
+	"softsec/internal/cfi"
 	"softsec/internal/core"
 	"softsec/internal/cpu"
 	"softsec/internal/harness"
@@ -99,6 +101,15 @@ func diffProcRun(t *testing.T, name, src string, opt minc.Options, cfg kernel.Co
 
 func diffLinkedRun(t *testing.T, img *asm.Image, cfg kernel.Config) {
 	t.Helper()
+	diffConfiguredRun(t, img, cfg, nil)
+}
+
+// diffConfiguredRun is diffLinkedRun with a post-load hook, so defenses
+// that need the loaded image (the CFI policies) can be installed before
+// the engines are compared.
+func diffConfiguredRun(t *testing.T, img *asm.Image, cfg kernel.Config,
+	post func(p *kernel.Process) error) {
+	t.Helper()
 	ld, err := kernel.Link(kernel.Libc(), img)
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +123,11 @@ func diffLinkedRun(t *testing.T, img *asm.Image, cfg kernel.Config) {
 			p, err = kernel.Load(ld, cfg)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if post != nil {
+				if err := post(p); err != nil {
+					t.Fatal(err)
+				}
 			}
 			p.CPU.Coverage = cov
 			st = p.Run()
@@ -196,11 +212,93 @@ func TestDifferentialKernelWorkloads(t *testing.T) {
 	})
 }
 
+// TestDifferentialCFIPolicy pins the CFI block-refusal path: under a CFI
+// policy the block engine summarizes straight-line spans as data-free but
+// refuses any span ending in an indirect branch or RET, stepping those —
+// so hijack faults, benign indirect calls, coverage, and step counts must
+// all land bit-identically to the pure stepping engine, at every
+// precision. The victim is the dispatch-table program whose honest run
+// exercises CALLR+RET and whose smashed run dies (fine) or reaches the
+// reused entries (coarse).
+func TestDifferentialCFIPolicy(t *testing.T) {
+	const victim = `
+	char name[32];
+	int *actions[2];
+
+	int hello() {
+		write(1, "hello ", 6);
+		return 0;
+	}
+	int bye() {
+		write(1, "bye", 3);
+		return 0;
+	}
+	void main() {
+		actions[0] = hello;
+		actions[1] = bye;
+		read(0, name, 44);
+		int *f = actions[0];
+		f();
+		f = actions[1];
+		f();
+	}`
+	img, err := minc.Compile("v", victim, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the entry-reuse payload against a probe copy at the nominal
+	// layout (the configs below do not randomize).
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := kernel.Load(ld, kernel.Config{DEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addv, ok := probe.SymbolAddr("addv")
+	if !ok {
+		t.Fatal("no addv")
+	}
+	spawn, ok := probe.SymbolAddr("spawn_shell")
+	if !ok {
+		t.Fatal("no spawn_shell")
+	}
+	smash := append(bytes.Repeat([]byte{'x'}, 32), make([]byte, 8)...)
+	binary.LittleEndian.PutUint32(smash[32:], addv)
+	binary.LittleEndian.PutUint32(smash[36:], spawn)
+
+	inputs := map[string][]byte{
+		"benign": []byte("alice"),
+		"smash":  smash,
+	}
+	for _, prec := range []cfi.Precision{cfi.Coarse, cfi.Fine} {
+		for label, in := range inputs {
+			t.Run(prec.String()+"/"+label, func(t *testing.T) {
+				diffConfiguredRun(t, img,
+					kernel.Config{DEP: true, Input: &kernel.ScriptInput{in}},
+					func(p *kernel.Process) error {
+						g, err := cfi.Recover(p)
+						if err != nil {
+							return err
+						}
+						p.CPU.Policy = cfi.NewPolicy(g, prec)
+						return nil
+					})
+			})
+		}
+	}
+}
+
 // selfModifySrc patches the immediate byte of an instruction *later in
 // the same straight-line block* (the storeb and its target sit between
 // two control transfers), then loops so the patched instruction is also
 // re-entered from a warm block cache. The final mov hands the patched
-// value to the exit code.
+// value to the exit code. Five iterations, not two: the warm-up gate
+// (decode/block caches allocate on the first refetched address) plus the
+// hotness gate mean block formation starts around the fourth visit, and
+// the in-block self-modification path this test pins must actually run
+// from a built block.
 const selfModifySrc = `
 	.text
 	.global main
@@ -212,7 +310,7 @@ loop:
 	storeb [ecx+1], eax
 target:
 	mov ebx, 0x11
-	cmp edx, 1
+	cmp edx, 4
 	jz done
 	add edx, 1
 	jmp loop

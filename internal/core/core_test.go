@@ -179,6 +179,20 @@ var expectT1 = map[string]map[string]Outcome{
 		"canary+dep+aslr": Crashed,
 		"dep+checked":     Detected,
 	},
+	"jop-entry-reuse": {
+		// The function-reuse chain: like fnptr-hijack, but every hop
+		// lands on a legitimate function entry (libc's addv, then
+		// spawn_shell), which is what lets it sail through *coarse*
+		// CFI — see the cfi/ scenario group. Against the classic
+		// arsenal it behaves like its single-pointer sibling: only an
+		// ASLR address miss or the fortified read interfere.
+		"none":            Compromised,
+		"canary":          Compromised,
+		"dep":             Compromised,
+		"aslr":            Crashed,
+		"canary+dep+aslr": Crashed,
+		"dep+checked":     Detected,
+	},
 	"heap-uaf": {
 		// The sobering row: no deployed integrity defence sees a heap
 		// type confusion — no code pointer, no canary, no absolute

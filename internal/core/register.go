@@ -12,6 +12,9 @@ import (
 //     re-randomization of ASLR layouts and canary values, so trial counts
 //     turn the table's qualitative claims into measured success rates;
 //   - t3/<mechanism>/<attacker> — the isolation grid of Section IV-A;
+//   - cfi/<attack>/<level> — every hijack attack against the CFI
+//     precision ladder (none, coarse, fine, fine+shadowstack), the
+//     coarse-vs-fine bypass grid of internal/cfi;
 //   - mc/aslr/<attack> — Monte-Carlo ASLR sweeps: the nominal-layout
 //     exploit against a freshly randomized layout every trial (the paper's
 //     "probabilistic countermeasure" claim is a statement about exactly
@@ -31,6 +34,11 @@ func RegisterScenarios(r *harness.Registry) error {
 		}
 	}
 	for _, sc := range IsolationScenarios() {
+		if err := r.Register(sc); err != nil {
+			return err
+		}
+	}
+	for _, sc := range CFIScenarios() {
 		if err := r.Register(sc); err != nil {
 			return err
 		}

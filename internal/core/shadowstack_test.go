@@ -24,6 +24,10 @@ var expectT1b = map[string]Outcome{
 	"fnptr-hijack":           Compromised, // forward edge: shadow stacks only
 	//                                        protect returns — the gap
 	//                                        forward-edge CFI exists for
+	"jop-entry-reuse": Compromised, // forward edges again: the reused
+	//                                 entries return to their genuine
+	//                                 callsites, so the shadow stack
+	//                                 never sees a mismatch
 	"info-leak": Compromised, // confidentiality, not integrity
 }
 

@@ -83,8 +83,9 @@ type BlockCheckCompiler interface {
 
 // Block cache geometry and block formation limits. 1024 direct-mapped
 // slots comfortably cover the few hundred distinct block starts of a
-// victim+libc image while keeping the lazily-allocated table small —
-// every loaded process pays its zeroing (see BenchmarkFullReload).
+// victim+libc image. Allocation is warm-gated (see the warm-up probe in
+// cpu.go): only a process that demonstrably re-executes code pays the
+// table's zeroing, so one-shot loads (BenchmarkFullReload) stay free.
 const (
 	bcacheBits = 10
 	bcacheSize = 1 << bcacheBits
@@ -266,6 +267,11 @@ func (c *CPU) BuildBlockAt(pc uint32) *Block {
 // produces the fault).
 func (c *CPU) blockFor(pc uint32) *bcEntry {
 	if c.bcache == nil {
+		if c.dcache == nil {
+			// Still in the pre-cache warm-up (no address has been
+			// fetched twice): keep stepping, pay for nothing.
+			return nil
+		}
 		c.bcache = make([]bcEntry, bcacheSize)
 	}
 	e := &c.bcache[pc&(bcacheSize-1)]

@@ -181,6 +181,22 @@ const (
 	dcacheSize = 1 << dcacheBits
 )
 
+// Pre-cache warm-up probe geometry. The decode and block caches together
+// cost several hundred kilobytes of allocation and zeroing — worth it the
+// moment any code re-executes, pure overhead for a process that runs
+// front to back once (kernel.Load-per-execution harnesses, wild one-shot
+// fuzz inputs; see BenchmarkFullReload). Until the caches exist, every
+// fetch probes a tiny direct-mapped table of recently fetched addresses;
+// the first refetched address — the earliest proof of re-execution, the
+// same signal the block engine's hotness gate keys on — trips allocation
+// of both caches. A cold CPU pays one array store per fetch and nothing
+// else; collisions merely delay the trip (never prevent correctness,
+// since the caches are semantically transparent).
+const (
+	warmBits = 7
+	warmSize = 1 << warmBits
+)
+
 // dcEntry is one decode-cache slot. An entry is valid for address a iff
 // tag == a, sgen equals the memory's current structural code generation
 // (mem.CodeGen), the write stamps of the page(s) the instruction's bytes
@@ -241,10 +257,16 @@ type CPU struct {
 	// block.go). Nil costs the engine nothing on the dispatch path.
 	BlockStats *BlockStats
 
-	// dcache is the decoded-instruction cache, allocated on first fetch.
+	// dcache is the decoded-instruction cache, allocated on the first
+	// warm-up trip (a refetched address — see warmTags).
 	dcache []dcEntry
-	// bcache is the basic-block cache, allocated on first block dispatch.
+	// bcache is the basic-block cache, allocated on the first block
+	// dispatch after the warm-up trip.
 	bcache []bcEntry
+	// warmTags is the pre-cache hotness probe: a direct-mapped table of
+	// recently fetched instruction addresses, consulted only while
+	// dcache is nil.
+	warmTags [warmSize]uint32
 	// cacheMem remembers which Memory the caches were filled against;
 	// swapping c.Mem drops both caches (their page stamps point into the
 	// old address space).
@@ -281,6 +303,10 @@ func (c *CPU) ensureBound() {
 	}
 	if c.Mem != c.cacheMem {
 		c.dcache, c.bcache = nil, nil
+		// The warm-up probe holds addresses from the old address space;
+		// a stale hit would allocate the caches on a fresh one-shot
+		// run's very first fetch, defeating the lazy-allocation gate.
+		c.warmTags = [warmSize]uint32{}
 		c.cacheMem = c.Mem
 	}
 }
@@ -439,6 +465,9 @@ func (c *CPU) pop() (uint32, bool) {
 // fetches.
 func (c *CPU) fetch() (isa.Instr, bool) {
 	if c.dcache == nil {
+		if !c.warm() {
+			return c.fetchSlow()
+		}
 		c.dcache = make([]dcEntry, dcacheSize)
 	}
 	sgen := c.Mem.CodeGen()
@@ -456,6 +485,26 @@ func (c *CPU) fetch() (isa.Instr, bool) {
 		}
 	}
 	return in, ok
+}
+
+// warm probes the pre-cache hotness table with the current IP: a hit —
+// this address was fetched before — is the proof of re-execution that
+// makes cache allocation worth paying. A miss records the address.
+func (c *CPU) warm() bool {
+	e := &c.warmTags[c.IP&(warmSize-1)]
+	if *e == c.IP {
+		return true
+	}
+	*e = c.IP
+	return false
+}
+
+// CacheFootprint reports whether the decoded-instruction and basic-block
+// caches have been allocated — the observable the lazy-allocation guard
+// (bench_test.go's full-reload benchmark) pins: a process that never
+// re-executes an address must never pay for either cache.
+func (c *CPU) CacheFootprint() (decodeCache, blockCache bool) {
+	return c.dcache != nil, c.bcache != nil
 }
 
 // fetchSlow reads and decodes the instruction at IP from memory, with a

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"softsec/internal/attack"
+	"softsec/internal/cfi"
 	"softsec/internal/cpu"
 	"softsec/internal/kernel"
 	"softsec/internal/minc"
@@ -54,6 +55,13 @@ type Config struct {
 	ASLR        bool
 	Checked     bool
 	ShadowStack bool
+	// CFI selects a control-flow-integrity precision ("", "coarse" or
+	// "fine"): after loading, the campaign recovers the victim's CFG and
+	// installs the internal/cfi label-table policy, so the campaign
+	// measures how each precision changes discovery cost and
+	// time-to-exploit. The policy survives every snapshot restore (it is
+	// machine configuration, not architectural state).
+	CFI string
 
 	// Seed drives every random choice of the campaign: layout and canary
 	// draws, mutation schedule, corpus scheduling. Same seed, same
@@ -111,6 +119,7 @@ func (c Config) MitLabel() string {
 	add(c.ASLR, "aslr")
 	add(c.Checked, "checked")
 	add(c.ShadowStack, "shadowstack")
+	add(c.CFI != "", "cfi-"+c.CFI)
 	if s == "" {
 		return "none"
 	}
@@ -300,6 +309,21 @@ func New(cfg Config) (*Campaign, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: load: %w", err)
+	}
+	switch cfg.CFI {
+	case "":
+	case "coarse", "fine":
+		g, err := cfi.Recover(p)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: cfi recovery: %w", err)
+		}
+		prec := cfi.Coarse
+		if cfg.CFI == "fine" {
+			prec = cfi.Fine
+		}
+		p.CPU.Policy = cfi.NewPolicy(g, prec)
+	default:
+		return nil, fmt.Errorf("fuzz: unknown CFI precision %q (want coarse or fine)", cfg.CFI)
 	}
 
 	c := &Campaign{

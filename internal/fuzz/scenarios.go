@@ -75,6 +75,7 @@ func Victims() []CampaignSpec {
 // mitConfig is one deployed mitigation stack for the campaign grid.
 type mitConfig struct {
 	canary, dep, aslr, shadow bool
+	cfi                       string
 }
 
 func campaignConfigs() []mitConfig {
@@ -84,6 +85,13 @@ func campaignConfigs() []mitConfig {
 		{dep: true},               // dep
 		{canary: true, dep: true}, // canary+dep
 		{dep: true, shadow: true}, // dep+shadowstack
+		// The CFI precision ladder (internal/cfi): same victims, no
+		// other mitigation, so the campaign numbers isolate how each
+		// precision level changes discovery cost and time-to-exploit —
+		// the fuzzing view of the coarse-vs-fine bypass grid.
+		{cfi: "coarse"},             // cfi-coarse
+		{cfi: "fine"},               // cfi-fine
+		{cfi: "fine", shadow: true}, // shadowstack+cfi-fine
 	}
 }
 
@@ -105,6 +113,7 @@ func Scenarios() []harness.Scenario {
 				DEP:         mc.dep,
 				ASLR:        mc.aslr,
 				ShadowStack: mc.shadow,
+				CFI:         mc.cfi,
 				MaxExecs:    ScenarioExecs,
 			}
 			out = append(out, harness.Scenario{

@@ -516,6 +516,38 @@ func IsIndirect(op Op) bool {
 	return op == CALLR || op == JMPR || op == RET
 }
 
+// IsIndirectBranch reports whether op is a forward-edge indirect transfer
+// (CALLR/JMPR): the control edges a label-table CFI restricts to function
+// entries (coarse) or per-callsite target sets (fine). RET is deliberately
+// excluded — it is the backward edge, policed against return sites or a
+// shadow stack.
+func IsIndirectBranch(op Op) bool {
+	return op == CALLR || op == JMPR
+}
+
+// IsCall reports whether op is a call (CALL or CALLR) — the instructions
+// whose fall-through address is a return site. The CFI CFG builder labels
+// exactly these fall-throughs as legitimate RET targets.
+func IsCall(op Op) bool {
+	return op == CALL || op == CALLR
+}
+
+// ImmHoldsAddress reports whether op's encoding carries a 32-bit immediate
+// that can denote an absolute code address (MOVI/PUSHI and the reg-imm ALU
+// forms — the encodings minc and the assembler emit for "address of
+// function" material). Rel32 branch displacements are excluded: they are
+// offsets, not addresses. The CFI address-taken scrape consults this to
+// harvest function-pointer constants out of loaded text.
+func ImmHoldsAddress(op Op) bool {
+	switch FormatOf(op) {
+	case FI32, FRI:
+		return true
+	case FPacked:
+		return op == MOVI
+	}
+	return false
+}
+
 func signed(v uint32) int32 { return int32(v) }
 
 // String renders the instruction in assembly syntax understood by

@@ -206,6 +206,37 @@ func (p *Process) SectionBase(sec asm.Section) uint32 {
 	return p.Layout.Data
 }
 
+// TextBounds returns the loaded text segment's absolute address range
+// [start, end). Static CFG recovery (internal/cfi) sweeps exactly this
+// span: with DEP it coincides with the executable pages, and without DEP
+// it keeps the sweep off data pages that are merely *mapped* executable.
+func (p *Process) TextBounds() (start, end uint32) {
+	return p.Layout.Text, p.Layout.Text + uint32(len(p.Linked.Text))
+}
+
+// TextEntryPoints returns the absolute addresses of the program's global
+// text symbols, keyed by address (values are symbol names, for
+// diagnostics). This is the linker's view of function entries — the seed
+// set a CFI label table marks as legitimate indirect-call targets.
+// Local text symbols are loop labels and branch targets inside functions,
+// not entries, and are deliberately excluded.
+func (p *Process) TextEntryPoints() map[uint32]string {
+	out := make(map[uint32]string)
+	for name, s := range p.Linked.Symbols {
+		if s.Section != asm.SecText || !s.Global {
+			continue
+		}
+		addr := p.Layout.Text + s.Off
+		// Symbols appear both qualified ("libc.puts") and unqualified
+		// ("puts"); keep the shorter, unqualified spelling when both map
+		// to one address.
+		if prev, ok := out[addr]; !ok || len(name) < len(prev) {
+			out[addr] = name
+		}
+	}
+	return out
+}
+
 // ModuleBounds returns the absolute address ranges of a linked module.
 type ModuleBounds struct {
 	Name               string
