@@ -529,6 +529,65 @@ func BenchmarkFuzzExecsPerSec(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
 }
 
+// parserVictim is a well-behaved input checker: no overflow is
+// reachable, so the campaign never veers into injected-code execution
+// and every reset stays on the warm-cache fast path. This is the
+// workload shape most fuzzing cells actually have — a parser probed for
+// logic paths, not a victim mid-exploit — and the cell the trace tier's
+// cross-reset cache retention is aimed at.
+const parserVictim = `
+void main() {
+	char buf[8];
+	int n;
+	n = read(0, buf, 8);
+	if (n > 1 && buf[0] == 'O' && buf[1] == 'K') {
+		write(1, buf, 2);
+	}
+}`
+
+// microVictim is the tightest realistic fuzz target: read a 4-byte
+// magic, branch on it, exit. At ~40-60 interpreted steps per run, the
+// campaign loop itself — reset, input delivery, trap handling, coverage
+// bookkeeping, classification, mutation — dominates, so this cell
+// measures the per-execution overhead floor of the whole fuzzing stack.
+const microVictim = `
+void main() {
+	char buf[4];
+	read(0, buf, 4);
+	if (buf[0] == 'F') {
+		write(1, buf, 1);
+	}
+}`
+
+// BenchmarkFuzzExecsPerSecHot measures campaign throughput on warm-cache
+// non-crashing cells: mutate, reset, execute, classify, admit, with
+// decode/block/trace caches staying warm across every reset. The
+// no-policy execs/sec numbers here are the headline fuzzing figures for
+// BENCH_trace.json.
+func BenchmarkFuzzExecsPerSecHot(b *testing.B) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"parser", parserVictim},
+		{"micro", microVictim},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := fuzz.New(fuzz.Config{
+				Name: tc.name, Source: tc.src, Seed: 1, DEP: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if err := c.Fuzz(b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+		})
+	}
+}
+
 // BenchmarkFuzzExecsPerSecCFI is the campaign-throughput view of CFI
 // cost: the same mutate/reset/execute/classify loop with the label-table
 // policy enforcing each precision — the exec/sec overhead column of the
@@ -671,6 +730,9 @@ func BenchmarkDecodeCacheHit(b *testing.B) {
 // rewound with RestoreArch so the timed run starts Running with hot
 // caches.
 func BenchmarkBlockCacheHit(b *testing.B) {
+	saved := cpu.UseTraceEngine
+	cpu.UseTraceEngine = false // pin the measurement to the block tier
+	defer func() { cpu.UseTraceEngine = saved }()
 	c := benchLoopCPU(b)
 	s := c.SaveArch()
 	c.Run(64) // warm the hotness gate and the block cache
@@ -681,6 +743,77 @@ func BenchmarkBlockCacheHit(b *testing.B) {
 		b.Fatalf("state %v fault %v", st, c.Fault())
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// benchChainCPU builds a machine looping through a chain of nblocks
+// two-instruction basic blocks, the last jumping back to the first. To
+// the block engine this is the worst case the trace tier targets: every
+// second instruction is a block boundary, so the per-dispatch overheads
+// (cache probe, budget setup, policy lookup) are paid at half the
+// instruction rate. To the trace tier the whole chain is one superblock
+// that loops back on itself without leaving the dispatch.
+func benchChainCPU(b *testing.B, nblocks int) *cpu.CPU {
+	b.Helper()
+	var src strings.Builder
+	src.WriteString("\t.text\n")
+	for i := 0; i < nblocks; i++ {
+		fmt.Fprintf(&src, "b%d:\n\tadd esi, 1\n\tjmp b%d\n", i, (i+1)%nblocks)
+	}
+	img := asm.MustAssemble("chain", src.String())
+	m := mem.New()
+	if err := m.Map(0x1000, mem.PageSize, mem.RX); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadRaw(0x1000, img.Text); err != nil {
+		b.Fatal(err)
+	}
+	c := cpu.New(m)
+	c.IP = 0x1000
+	return c
+}
+
+// benchChainRun measures steady-state ns/instr on the block-chain
+// workload under the current engine configuration.
+func benchChainRun(b *testing.B, c *cpu.CPU) {
+	b.Helper()
+	s := c.SaveArch()
+	c.Run(2048) // heat the blocks past the trace threshold and record
+	c.RestoreArch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if st := c.Run(uint64(b.N)); st != cpu.StepLimit {
+		b.Fatalf("state %v fault %v", st, c.Fault())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
+// BenchmarkTraceCacheHit is the trace-tier headline: the 8-block chain
+// served from a warm trace cache as one self-looping superblock. Compare
+// BenchmarkTraceVsBlockChain/block — the same workload with traces off —
+// for the per-dispatch overhead the tier removes.
+func BenchmarkTraceCacheHit(b *testing.B) {
+	c := benchChainCPU(b, 8)
+	ts := &cpu.TraceStats{}
+	c.TraceStats = ts
+	benchChainRun(b, c)
+	if ts.Formed == 0 {
+		b.Fatal("no trace formed: benchmark measured the block tier")
+	}
+}
+
+// BenchmarkTraceVsBlockChain runs the identical chain workload under the
+// block tier alone and under the trace tier: the ratio of the two MIPS
+// numbers is the superblock speedup on dispatch-bound code.
+func BenchmarkTraceVsBlockChain(b *testing.B) {
+	b.Run("block", func(b *testing.B) {
+		saved := cpu.UseTraceEngine
+		cpu.UseTraceEngine = false
+		defer func() { cpu.UseTraceEngine = saved }()
+		benchChainRun(b, benchChainCPU(b, 8))
+	})
+	b.Run("trace", func(b *testing.B) {
+		benchChainRun(b, benchChainCPU(b, 8))
+	})
 }
 
 // BenchmarkBlockBuild measures block formation cost: every iteration

@@ -49,6 +49,10 @@ func main() {
 	)
 	sweep.Register(flag.CommandLine, 0)
 	flag.Parse()
+	if err := sweep.ApplyEngine(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range core.Attacks() {

@@ -12,8 +12,14 @@
 // its own deterministic seed from -seed, re-randomizing the ASLR layout
 // and canary value when those mitigations are enabled, and the aggregate
 // success rate is reported. Results are independent of -jobs. The sweep
-// flags (-trials/-jobs/-seed/-json/-scenarios/-group) are shared with
-// cmd/attacklab through internal/harness/cli.
+// flags (-trials/-jobs/-seed/-json/-scenarios/-group/-engine) are shared
+// with cmd/attacklab through internal/harness/cli; -engine selects the
+// execution tier (step, block, or trace — bit-identical, trace fastest),
+// and -enginestats prints the block/trace dispatch counters and the
+// superblock length histogram after a single-trial run:
+//
+//	secsim -attack rop-chain -dep -engine step       # reference tier
+//	secsim -attack rop-chain -dep -enginestats       # trace-tier counters
 //
 //	secsim -attack stack-smash-inject -aslr -trials 256 -jobs 8
 //	secsim -attack rop-chain -canary -dep -trials 1000 -json
@@ -33,8 +39,10 @@ import (
 	"os"
 
 	"softsec/internal/core"
+	"softsec/internal/cpu"
 	"softsec/internal/harness"
 	"softsec/internal/harness/cli"
+	"softsec/internal/kernel"
 )
 
 func main() {
@@ -48,10 +56,15 @@ func main() {
 		shadow  = flag.Bool("shadowstack", false, "hardware shadow stack (exact backward-edge CFI)")
 		cfiLvl  = flag.String("cfi", "", "control-flow integrity precision: coarse or fine (label-table CFI over the recovered CFG)")
 		verbose = flag.Bool("v", false, "print victim source and output")
+		estats  = flag.Bool("enginestats", false, "print block/trace engine statistics after a single-trial run")
 		sweep   cli.Sweep
 	)
 	sweep.Register(flag.CommandLine, 42)
 	flag.Parse()
+	if err := sweep.ApplyEngine(); err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(2)
+	}
 
 	if *scen != "" && (sweep.Group != "" || sweep.List) {
 		fmt.Fprintln(os.Stderr, "secsim: -scenario is mutually exclusive with -group/-scenarios (one cell, one group, or a listing — not several)")
@@ -116,6 +129,22 @@ func main() {
 		fmt.Println("victim program:")
 		fmt.Println(spec.Victim)
 	}
+	var bst cpu.BlockStats
+	var tst cpu.TraceStats
+	if *estats {
+		// Chain onto any defense-installed PostLoad so both run.
+		prev := s.PostLoad
+		s.PostLoad = func(p *kernel.Process) error {
+			if prev != nil {
+				if err := prev(p); err != nil {
+					return err
+				}
+			}
+			p.CPU.BlockStats = &bst
+			p.CPU.TraceStats = &tst
+			return nil
+		}
+	}
 	res, err := core.Run(s, m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secsim:", err)
@@ -131,9 +160,30 @@ func main() {
 	if *verbose {
 		fmt.Printf("output:     %q\n", res.Output)
 	}
+	if *estats {
+		printEngineStats(&bst, &tst)
+	}
 	if res.Outcome == core.Compromised {
 		os.Exit(1)
 	}
+}
+
+// printEngineStats renders the block- and trace-tier counters of a
+// single-trial run, including the superblock length histogram.
+func printEngineStats(bst *cpu.BlockStats, tst *cpu.TraceStats) {
+	fmt.Printf("block stats: dispatches=%d hits=%d builds=%d stepfalls=%d\n",
+		bst.Dispatches, bst.Hits, bst.Builds, bst.StepFalls)
+	fmt.Printf("trace stats: formed=%d aborts=%d dispatches=%d completions=%d loopbacks=%d\n",
+		tst.Formed, tst.Aborts, tst.Dispatches, tst.Completions, tst.LoopBacks)
+	fmt.Printf("trace exits: side=%d stale=%d (side-exit rate %.3f)\n",
+		tst.SideExits, tst.StaleExits, tst.SideExitRate())
+	fmt.Printf("trace len:   avg=%.2f hist=", tst.AvgLen())
+	for l, n := range tst.LenHist {
+		if n != 0 {
+			fmt.Printf(" %d:%d", l, n)
+		}
+	}
+	fmt.Println()
 }
 
 // runScenarios drives the registered-scenario modes: -scenarios listing,

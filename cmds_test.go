@@ -15,7 +15,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, tool := range []string{"minc", "smasm", "secsim", "figures", "attacklab"} {
+	for _, tool := range []string{"minc", "smasm", "secsim", "figures", "attacklab", "benchsnap"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {
@@ -161,6 +161,75 @@ main:
 			t.Fatalf("secsim output:\n%s", out)
 		}
 	})
+	t.Run("secsim engine tiers agree", func(t *testing.T) {
+		// The execution tiers are bit-identical, so the classified
+		// outcome and exit code must not depend on -engine.
+		var outcomes [3]string
+		for i, engine := range []string{"step", "block", "trace"} {
+			out := runTool(t, bin, "secsim", 1,
+				"-attack", "return-to-libc", "-dep", "-engine", engine)
+			if !strings.Contains(out, "COMPROMISED") {
+				t.Fatalf("-engine %s output:\n%s", engine, out)
+			}
+			outcomes[i] = out
+		}
+		if outcomes[0] != outcomes[1] || outcomes[0] != outcomes[2] {
+			t.Fatalf("tier outputs differ:\nstep:\n%s\nblock:\n%s\ntrace:\n%s",
+				outcomes[0], outcomes[1], outcomes[2])
+		}
+	})
+	t.Run("secsim unknown engine exits 2", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 2, "-attack", "rop-chain", "-engine", "turbo")
+		if !strings.Contains(out, `unknown -engine "turbo"`) {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("attacklab unknown engine exits 2", func(t *testing.T) {
+		out := runTool(t, bin, "attacklab", 2, "-list", "-engine", "turbo")
+		if !strings.Contains(out, `unknown -engine "turbo"`) {
+			t.Fatalf("attacklab output:\n%s", out)
+		}
+	})
+	t.Run("secsim enginestats", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 1, "-attack", "rop-chain", "-dep", "-enginestats")
+		for _, want := range []string{"block stats:", "trace stats:", "trace exits:", "trace len:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("engine stats missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("benchsnap validates committed snapshot", func(t *testing.T) {
+		// Strict: -validate only re-reads recorded values, so the
+		// committed snapshot must meet the acceptance floors regardless
+		// of the machine running the tests.
+		out := runTool(t, bin, "benchsnap", 0, "-validate")
+		if !strings.Contains(out, "BENCH_trace.json: ok") {
+			t.Fatalf("benchsnap output:\n%s", out)
+		}
+	})
+	t.Run("benchsnap quick roundtrip", func(t *testing.T) {
+		snap := filepath.Join(work, "snap.json")
+		out := runTool(t, bin, "benchsnap", 0, "-quick", "-o", snap)
+		if !strings.Contains(out, "trace_chain8") {
+			t.Fatalf("benchsnap output:\n%s", out)
+		}
+		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", snap, "-strict=false")
+		if !strings.Contains(out, "ok") {
+			t.Fatalf("benchsnap validate output:\n%s", out)
+		}
+	})
+	t.Run("benchsnap rejects corrupt snapshot", func(t *testing.T) {
+		bad := filepath.Join(work, "bad.json")
+		if err := os.WriteFile(bad, []byte(`{"schema": 99}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := runTool(t, bin, "benchsnap", 1, "-validate", "-f", bad)
+		if !strings.Contains(out, "schema 99") {
+			t.Fatalf("benchsnap output:\n%s", out)
+		}
+	})
+
 	t.Run("attacklab cfi grid", func(t *testing.T) {
 		out := runTool(t, bin, "attacklab", 0, "-group", "cfi", "-trials", "1")
 		for _, want := range []string{

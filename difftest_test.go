@@ -1,10 +1,11 @@
-// Block-vs-step differential tests: the basic-block engine must be
-// bit-identical to the single-step reference engine across the entire
-// scenario catalog — byte-identical aggregate JSON, identical raw trial
-// results, identical architectural state, output, and coverage bitmaps —
-// including self-modifying code that rewrites the block currently
-// executing, and snapshot/restore cycles (the fuzz campaign cells reset
-// their victim thousands of times per trial).
+// Engine differential tests: the basic-block engine and the trace
+// (superblock) engine must both be bit-identical to the single-step
+// reference engine across the entire scenario catalog — byte-identical
+// aggregate JSON, identical raw trial results, identical architectural
+// state, output, and coverage bitmaps — including self-modifying code
+// that rewrites the block currently executing, and snapshot/restore
+// cycles (the fuzz campaign cells reset their victim thousands of times
+// per trial).
 package softsec
 
 import (
@@ -21,12 +22,27 @@ import (
 	"softsec/internal/minc"
 )
 
-// underEngine runs f with the block engine forced on or off.
-func underEngine(t *testing.T, blocks bool, f func()) {
+// engineTiers enumerates the three execution tiers under differential
+// comparison; "step" is always the reference.
+var engineTiers = []string{"step", "block", "trace"}
+
+// underTier runs f with the package-wide engine switches pinned to one
+// tier: "step" (single-step reference), "block" (basic blocks, no
+// traces), or "trace" (blocks + superblocks, the production default).
+func underTier(t *testing.T, tier string, f func()) {
 	t.Helper()
-	saved := cpu.UseBlockEngine
-	cpu.UseBlockEngine = blocks
-	defer func() { cpu.UseBlockEngine = saved }()
+	savedB, savedT := cpu.UseBlockEngine, cpu.UseTraceEngine
+	defer func() { cpu.UseBlockEngine, cpu.UseTraceEngine = savedB, savedT }()
+	switch tier {
+	case "step":
+		cpu.UseBlockEngine, cpu.UseTraceEngine = false, false
+	case "block":
+		cpu.UseBlockEngine, cpu.UseTraceEngine = true, false
+	case "trace":
+		cpu.UseBlockEngine, cpu.UseTraceEngine = true, true
+	default:
+		t.Fatalf("unknown engine tier %q", tier)
+	}
 	f()
 }
 
@@ -56,30 +72,34 @@ func TestDifferentialCatalog(t *testing.T) {
 			}
 			opt := harness.Options{Trials: trials, Jobs: 1, BaseSeed: 7}
 
-			var blkRep, refRep *harness.Report
-			underEngine(t, true, func() { blkRep = harness.Run(scs, opt) })
-			underEngine(t, false, func() { refRep = harness.Run(scs, opt) })
-
-			blkJSON, err := blkRep.JSON()
+			reps := map[string]*harness.Report{}
+			for _, tier := range engineTiers {
+				underTier(t, tier, func() { reps[tier] = harness.Run(scs, opt) })
+			}
+			refJSON, err := reps["step"].JSON()
 			if err != nil {
 				t.Fatal(err)
 			}
-			refJSON, err := refRep.JSON()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(blkJSON, refJSON) {
-				t.Fatalf("aggregate JSON diverged between engines:\nblock:\n%s\nstep:\n%s",
-					blkJSON, refJSON)
-			}
-			for si := range blkRep.Results {
-				for ti := range blkRep.Results[si] {
-					b, r := blkRep.Results[si][ti], refRep.Results[si][ti]
-					if b.Outcome != r.Outcome || b.Code != r.Code ||
-						b.Success != r.Success || b.Detail != r.Detail ||
-						(b.Err == nil) != (r.Err == nil) {
-						t.Fatalf("%s trial %d diverged: block %+v vs step %+v",
-							scs[si].Name, ti, b, r)
+			for _, tier := range engineTiers[1:] {
+				rep := reps[tier]
+				js, err := rep.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(js, refJSON) {
+					t.Fatalf("aggregate JSON diverged between %s and step:\n%s:\n%s\nstep:\n%s",
+						tier, tier, js, refJSON)
+				}
+				ref := reps["step"]
+				for si := range rep.Results {
+					for ti := range rep.Results[si] {
+						b, r := rep.Results[si][ti], ref.Results[si][ti]
+						if b.Outcome != r.Outcome || b.Code != r.Code ||
+							b.Success != r.Success || b.Detail != r.Detail ||
+							(b.Err == nil) != (r.Err == nil) {
+							t.Fatalf("%s trial %d diverged: %s %+v vs step %+v",
+								scs[si].Name, ti, tier, b, r)
+						}
 					}
 				}
 			}
@@ -114,11 +134,11 @@ func diffConfiguredRun(t *testing.T, img *asm.Image, cfg kernel.Config,
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(blocks bool) (*kernel.Process, cpu.State, *cpu.Coverage) {
+	run := func(tier string) (*kernel.Process, cpu.State, *cpu.Coverage) {
 		var p *kernel.Process
 		var st cpu.State
 		cov := &cpu.Coverage{}
-		underEngine(t, blocks, func() {
+		underTier(t, tier, func() {
 			var err error
 			p, err = kernel.Load(ld, cfg)
 			if err != nil {
@@ -134,34 +154,35 @@ func diffConfiguredRun(t *testing.T, img *asm.Image, cfg kernel.Config,
 		})
 		return p, st, cov
 	}
-	bp, bst, bcov := run(true)
-	rp, rst, rcov := run(false)
-
-	if bst != rst {
-		t.Fatalf("state diverged: block %v vs step %v (faults %v / %v)",
-			bst, rst, bp.CPU.Fault(), rp.CPU.Fault())
-	}
-	if bp.CPU.Reg != rp.CPU.Reg || bp.CPU.IP != rp.CPU.IP || bp.CPU.F != rp.CPU.F {
-		t.Fatalf("arch state diverged:\nblock: reg %v ip %#x f %+v\nstep:  reg %v ip %#x f %+v",
-			bp.CPU.Reg, bp.CPU.IP, bp.CPU.F, rp.CPU.Reg, rp.CPU.IP, rp.CPU.F)
-	}
-	if bp.CPU.Steps != rp.CPU.Steps {
-		t.Fatalf("steps diverged: block %d vs step %d", bp.CPU.Steps, rp.CPU.Steps)
-	}
+	rp, rst, rcov := run("step")
 	fs := func(f *cpu.Fault) string {
 		if f == nil {
 			return ""
 		}
 		return f.Error()
 	}
-	if fs(bp.CPU.Fault()) != fs(rp.CPU.Fault()) {
-		t.Fatalf("fault diverged: %q vs %q", fs(bp.CPU.Fault()), fs(rp.CPU.Fault()))
-	}
-	if !bytes.Equal(bp.Output.Bytes(), rp.Output.Bytes()) {
-		t.Fatalf("output diverged: %q vs %q", bp.Output.Bytes(), rp.Output.Bytes())
-	}
-	if !bcov.Equal(rcov) {
-		t.Fatalf("coverage diverged: %d vs %d edges", bcov.Count(), rcov.Count())
+	for _, tier := range engineTiers[1:] {
+		bp, bst, bcov := run(tier)
+		if bst != rst {
+			t.Fatalf("state diverged: %s %v vs step %v (faults %v / %v)",
+				tier, bst, rst, bp.CPU.Fault(), rp.CPU.Fault())
+		}
+		if bp.CPU.Reg != rp.CPU.Reg || bp.CPU.IP != rp.CPU.IP || bp.CPU.F != rp.CPU.F {
+			t.Fatalf("arch state diverged:\n%s: reg %v ip %#x f %+v\nstep:  reg %v ip %#x f %+v",
+				tier, bp.CPU.Reg, bp.CPU.IP, bp.CPU.F, rp.CPU.Reg, rp.CPU.IP, rp.CPU.F)
+		}
+		if bp.CPU.Steps != rp.CPU.Steps {
+			t.Fatalf("steps diverged: %s %d vs step %d", tier, bp.CPU.Steps, rp.CPU.Steps)
+		}
+		if fs(bp.CPU.Fault()) != fs(rp.CPU.Fault()) {
+			t.Fatalf("fault diverged: %q vs %q", fs(bp.CPU.Fault()), fs(rp.CPU.Fault()))
+		}
+		if !bytes.Equal(bp.Output.Bytes(), rp.Output.Bytes()) {
+			t.Fatalf("output diverged: %q vs %q", bp.Output.Bytes(), rp.Output.Bytes())
+		}
+		if !bcov.Equal(rcov) {
+			t.Fatalf("coverage diverged (%s): %d vs %d edges", tier, bcov.Count(), rcov.Count())
+		}
 	}
 }
 
@@ -288,6 +309,23 @@ func TestDifferentialCFIPolicy(t *testing.T) {
 			})
 		}
 	}
+	// Fine CFI stacked with the shadow stack — forward and backward edges
+	// both policed, traces enabled (the default tier in the sweep): the
+	// strongest defense combination must stay bit-identical too.
+	for label, in := range inputs {
+		t.Run("fine+shadow/"+label, func(t *testing.T) {
+			diffConfiguredRun(t, img,
+				kernel.Config{DEP: true, ShadowStack: true, Input: &kernel.ScriptInput{in}},
+				func(p *kernel.Process) error {
+					g, err := cfi.Recover(p)
+					if err != nil {
+						return err
+					}
+					p.CPU.Policy = cfi.NewPolicy(g, cfi.Fine)
+					return nil
+				})
+		})
+	}
 }
 
 // selfModifySrc patches the immediate byte of an instruction *later in
@@ -377,9 +415,9 @@ func TestDifferentialSnapshotCycles(t *testing.T) {
 		steps uint64
 		out   []byte
 	}
-	runCycles := func(blocks bool) []cycle {
+	runCycles := func(tier string) []cycle {
 		var out []cycle
-		underEngine(t, blocks, func() {
+		underTier(t, tier, func() {
 			p, err := kernel.Load(ld, kernel.Config{Input: &kernel.ScriptInput{}})
 			if err != nil {
 				t.Fatal(err)
@@ -396,13 +434,87 @@ func TestDifferentialSnapshotCycles(t *testing.T) {
 		})
 		return out
 	}
-	blk := runCycles(true)
-	ref := runCycles(false)
-	for i := range inputs {
-		if blk[i].st != ref[i].st || blk[i].steps != ref[i].steps ||
-			!bytes.Equal(blk[i].out, ref[i].out) {
-			t.Fatalf("cycle %d diverged: block {%v %d %q} vs step {%v %d %q}",
-				i, blk[i].st, blk[i].steps, blk[i].out, ref[i].st, ref[i].steps, ref[i].out)
+	ref := runCycles("step")
+	for _, tier := range engineTiers[1:] {
+		got := runCycles(tier)
+		for i := range inputs {
+			if got[i].st != ref[i].st || got[i].steps != ref[i].steps ||
+				!bytes.Equal(got[i].out, ref[i].out) {
+				t.Fatalf("cycle %d diverged: %s {%v %d %q} vs step {%v %d %q}",
+					i, tier, got[i].st, got[i].steps, got[i].out,
+					ref[i].st, ref[i].steps, ref[i].out)
+			}
+		}
+	}
+}
+
+// TestDifferentialRestoreMidTrace restores a snapshot taken while the
+// victim still has hot traces over its code, with an input that steers
+// the (branchy) victim differently each cycle: stale superblocks from the
+// previous cycle must never leak into the next one, on any tier.
+func TestDifferentialRestoreMidTrace(t *testing.T) {
+	const victim = `
+	void main() {
+		char buf[32];
+		int i;
+		int acc = 0;
+		read(0, buf, 32);
+		for (i = 0; i < 3000; i++) {
+			if (buf[i % 16] > 0x40) {
+				acc = acc + 3;
+			} else {
+				acc = acc - 1;
+			}
+		}
+		write(1, buf, 4);
+	}`
+	img, err := minc.Compile("v", victim, minc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := kernel.Link(kernel.Libc(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{
+		bytes.Repeat([]byte{0x41}, 32), // every branch taken
+		bytes.Repeat([]byte{0x30}, 32), // every branch fallen through
+		[]byte("A0A0A0A0A0A0A0A0A0A0A0A0A0A0A0A0")[:32], // alternating
+		bytes.Repeat([]byte{0x41}, 32),                   // back to the first shape
+	}
+	type cycle struct {
+		st    cpu.State
+		steps uint64
+		out   []byte
+	}
+	runCycles := func(tier string) []cycle {
+		var out []cycle
+		underTier(t, tier, func() {
+			p, err := kernel.Load(ld, kernel.Config{DEP: true, Input: &kernel.ScriptInput{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := p.Snapshot()
+			for _, in := range inputs {
+				if err := p.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				p.SetInput(&kernel.ScriptInput{in})
+				st := p.Run()
+				out = append(out, cycle{st, p.CPU.Steps, append([]byte(nil), p.Output.Bytes()...)})
+			}
+		})
+		return out
+	}
+	ref := runCycles("step")
+	for _, tier := range engineTiers[1:] {
+		got := runCycles(tier)
+		for i := range inputs {
+			if got[i].st != ref[i].st || got[i].steps != ref[i].steps ||
+				!bytes.Equal(got[i].out, ref[i].out) {
+				t.Fatalf("cycle %d diverged: %s {%v %d} vs step {%v %d}",
+					i, tier, got[i].st, got[i].steps, ref[i].st, ref[i].steps)
+			}
 		}
 	}
 }

@@ -143,8 +143,10 @@ type Block struct {
 	wmask uint32
 	// stackOps marks blocks that provably write the stack page just
 	// below the entry ESP (PUSH/PUSHI/CALL/CALLR), enabling the undo-log
-	// pretouch.
+	// pretouch; nstack counts those instructions, so the trace engine can
+	// batch one undo-log pretouch over a whole superblock's stack span.
 	stackOps bool
+	nstack   uint8
 }
 
 // Len returns the number of instructions in the block.
@@ -168,10 +170,16 @@ type BlockStats struct {
 // whose block is empty is a pc in the hotness gate: heat counts step
 // visits, and the block is built when heat reaches blockHeat.
 type bcEntry struct {
-	tag      uint32
-	sgen     uint64
-	pe       uint32
-	heat     uint8
+	tag  uint32
+	sgen uint64
+	pe   uint32
+	heat uint8
+	// exe counts dispatches of the built block (saturating) — the
+	// edge-hotness signal the trace recorder keys on.
+	exe uint8
+	// miss counts consecutive conflict probes by other pcs while the slot
+	// holds a valid built block; see the eviction gate in blockFor.
+	miss     uint8
 	ok       bool // policy summary permits block execution
 	dataFree bool // policy proved per-access data checks cannot fire
 	w0       *uint64
@@ -191,6 +199,16 @@ type bcEntry struct {
 // executes from — the pathological rebuild storm) drops to heat zero
 // and spends most visits stepping.
 const blockHeat = 2
+
+// evictMiss is the number of consecutive conflict probes a competing pc
+// must land on a slot holding a valid built block before it claims the
+// slot. A fuzzing campaign constantly throws one-shot wild transfers at
+// fresh addresses; letting each first visit steal a slot used to evict
+// the victim's hot loop blocks once per execution and rebuild them right
+// after — the rebuild churn this gate exists to stop. A genuinely hot
+// competitor claims the slot after a handful of visits; a one-shot pc
+// steps through exactly as it would have anyway.
+const evictMiss = 4
 
 // blockValid reports whether e's stamps still describe the bytes at
 // e.tag. Only meaningful for entries holding a built block.
@@ -230,6 +248,7 @@ func (c *CPU) buildBlock(pc uint32, b *Block) bool {
 		}
 		if isa.WritesStack(in.Op) {
 			b.stackOps = true
+			b.nstack++
 		}
 		scratch[n] = in
 		n++
@@ -281,6 +300,7 @@ func (c *CPU) blockFor(pc uint32) *bcEntry {
 				if c.BlockStats != nil {
 					c.BlockStats.Hits++
 				}
+				e.miss = 0
 				return e
 			}
 			// The built block went stale (code rewritten under it, or the
@@ -288,6 +308,7 @@ func (c *CPU) blockFor(pc uint32) *bcEntry {
 			// this one — see blockHeat for the two demotion tiers.
 			e.blk.ins = e.blk.ins[:0]
 			e.heat = blockHeat - 1
+			e.exe = 0
 			return nil
 		}
 		if e.heat++; e.heat < blockHeat {
@@ -299,11 +320,22 @@ func (c *CPU) blockFor(pc uint32) *bcEntry {
 		}
 		return e
 	}
-	// First visit: remember the pc, execute it by stepping. One-shot code
-	// (wild fuzz transfers into freshly mutated bytes) never pays block
-	// formation; anything that recurs is built once it proves stable.
+	// Conflict probe: a slot holding a valid built block is not
+	// surrendered to a newcomer until the newcomer keeps coming back
+	// (evictMiss) — see the eviction gate rationale above.
+	if len(e.blk.ins) > 0 && e.pe == c.polEpoch && c.blockValid(e) {
+		if e.miss++; e.miss < evictMiss {
+			return nil
+		}
+	}
+	// First visit (or a persistent competitor claiming the slot):
+	// remember the pc, execute it by stepping. One-shot code (wild fuzz
+	// transfers into freshly mutated bytes) never pays block formation;
+	// anything that recurs is built once it proves stable.
 	e.tag = pc
 	e.heat = 1
+	e.exe = 0
+	e.miss = 0
 	e.blk.ins = e.blk.ins[:0]
 	return nil
 }

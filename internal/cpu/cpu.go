@@ -257,12 +257,22 @@ type CPU struct {
 	// block.go). Nil costs the engine nothing on the dispatch path.
 	BlockStats *BlockStats
 
+	// TraceStats, when non-nil, counts trace-tier activity: traces
+	// formed, superblock dispatches, side exits (see trace.go). Nil
+	// costs the dispatch path nothing.
+	TraceStats *TraceStats
+
 	// dcache is the decoded-instruction cache, allocated on the first
 	// warm-up trip (a refetched address — see warmTags).
 	dcache []dcEntry
 	// bcache is the basic-block cache, allocated on the first block
 	// dispatch after the warm-up trip.
 	bcache []bcEntry
+	// tcache is the trace (superblock) cache, allocated on the first
+	// successful trace formation; rec is the armed trace recorder
+	// (trace.go).
+	tcache []tcEntry
+	rec    traceRec
 	// warmTags is the pre-cache hotness probe: a direct-mapped table of
 	// recently fetched instruction addresses, consulted only while
 	// dcache is nil.
@@ -302,7 +312,8 @@ func (c *CPU) ensureBound() {
 		c.bindPolicy()
 	}
 	if c.Mem != c.cacheMem {
-		c.dcache, c.bcache = nil, nil
+		c.dcache, c.bcache, c.tcache = nil, nil, nil
+		c.rec.active = false
 		// The warm-up probe holds addresses from the old address space;
 		// a stale hit would allocate the caches on a fresh one-shot
 		// run's very first fetch, defeating the lazy-allocation gate.
@@ -549,26 +560,31 @@ func (c *CPU) decodeAt(pc uint32) (isa.Instr, error) {
 
 // setArith updates flags for an addition result.
 func (c *CPU) setAdd(a, b, r uint32) {
-	c.F.Z = r == 0
-	c.F.S = int32(r) < 0
-	c.F.C = r < a
-	c.F.O = (int32(a) >= 0) == (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+	// Branchless overflow: the sign of r differs from the (equal) signs
+	// of both a and b exactly when bit 31 of (a^r)&(b^r) is set. One
+	// whole-struct store keeps the four flag writes a single word store
+	// on the per-instruction fast path.
+	c.F = Flags{
+		Z: r == 0,
+		S: int32(r) < 0,
+		C: r < a,
+		O: ((a^r)&(b^r))>>31 != 0,
+	}
 }
 
 // setSub updates flags for a-b.
 func (c *CPU) setSub(a, b, r uint32) {
-	c.F.Z = r == 0
-	c.F.S = int32(r) < 0
-	c.F.C = a < b
-	c.F.O = (int32(a) >= 0) != (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+	c.F = Flags{
+		Z: r == 0,
+		S: int32(r) < 0,
+		C: a < b,
+		O: ((a^b)&(a^r))>>31 != 0,
+	}
 }
 
 // setLogic updates flags for a bitwise result.
 func (c *CPU) setLogic(r uint32) {
-	c.F.Z = r == 0
-	c.F.S = int32(r) < 0
-	c.F.C = false
-	c.F.O = false
+	c.F = Flags{Z: r == 0, S: int32(r) < 0}
 }
 
 // transfer moves the instruction pointer to target, consulting the policy.
@@ -917,11 +933,13 @@ func (c *CPU) cond(op isa.Op) bool {
 // instructions retire, and returns the final state. Whenever the machine
 // configuration allows it — the block engine is enabled, no tracer is
 // observing, no breakpoints are armed — execution proceeds basic-block-
-// at-a-time through the block cache (block.go); otherwise, and whenever
-// a Policy that cannot summarize blocks is installed, Run falls back to
-// the single-step reference engine. Both engines are bit-identical,
-// including the StepLimit point: a block that would exceed the budget
-// partially retires and stops exactly at maxSteps.
+// at-a-time through the block cache (block.go), and with UseTraceEngine
+// also set, superblock-at-a-time through the trace cache (trace.go);
+// otherwise, and whenever a Policy that cannot summarize blocks is
+// installed, Run falls back to the single-step reference engine. All
+// tiers are bit-identical, including the StepLimit point: a block or
+// trace member that would exceed the budget partially retires and stops
+// exactly at maxSteps.
 //
 // The policy checkers are (re)bound once at entry and once per
 // dispatched block; Step rebinds only if the Policy field changes
@@ -935,8 +953,15 @@ func (c *CPU) Run(maxSteps uint64) State {
 			break
 		}
 		if UseBlockEngine && c.Tracer == nil && len(c.breaks) == 0 {
-			c.blockStep(budget)
+			if UseTraceEngine {
+				c.traceStep(budget)
+			} else {
+				c.blockStep(budget)
+			}
 		} else {
+			// Observed or breakpointed execution steps; any armed trace
+			// recording no longer sees every dispatch, so drop it.
+			c.rec.active = false
 			c.Step()
 		}
 	}

@@ -8,16 +8,23 @@ import (
 	"softsec/internal/mem"
 )
 
-// runBothEngines executes the same program twice — once through the
-// block engine, once with UseBlockEngine off (the stepping reference) —
-// and asserts bit-identical outcomes: state, registers, IP, flags, step
-// count, fault rendering, and coverage bitmap.
+// runBothEngines executes the same program through every tier — the
+// trace engine, the block engine alone, and the stepping reference — and
+// asserts bit-identical outcomes across all of them: state, registers,
+// IP, flags, step count, fault rendering, and coverage bitmap. It
+// returns the trace-tier machine and the stepping reference.
 func runBothEngines(t *testing.T, mk func(t *testing.T) *CPU, maxSteps uint64) (*CPU, *CPU) {
 	t.Helper()
-	saved := UseBlockEngine
-	defer func() { UseBlockEngine = saved }()
+	savedB, savedT := UseBlockEngine, UseTraceEngine
+	defer func() { UseBlockEngine, UseTraceEngine = savedB, savedT }()
 
-	UseBlockEngine = true
+	UseBlockEngine, UseTraceEngine = true, true
+	trc := mk(t)
+	trc.Coverage = &Coverage{}
+	trc.TraceStats = &TraceStats{}
+	stTrc := trc.Run(maxSteps)
+
+	UseBlockEngine, UseTraceEngine = true, false
 	blk := mk(t)
 	blk.Coverage = &Coverage{}
 	stBlk := blk.Run(maxSteps)
@@ -27,35 +34,40 @@ func runBothEngines(t *testing.T, mk func(t *testing.T) *CPU, maxSteps uint64) (
 	ref.Coverage = &Coverage{}
 	stRef := ref.Run(maxSteps)
 
-	if stBlk != stRef {
-		t.Fatalf("state: block %v vs step %v (faults %v / %v)", stBlk, stRef, blk.Fault(), ref.Fault())
-	}
-	if blk.Reg != ref.Reg {
-		t.Fatalf("registers diverged: block %v vs step %v", blk.Reg, ref.Reg)
-	}
-	if blk.IP != ref.IP {
-		t.Fatalf("IP diverged: block %#x vs step %#x", blk.IP, ref.IP)
-	}
-	if blk.F != ref.F {
-		t.Fatalf("flags diverged: block %+v vs step %+v", blk.F, ref.F)
-	}
-	if blk.Steps != ref.Steps {
-		t.Fatalf("step count diverged: block %d vs step %d", blk.Steps, ref.Steps)
-	}
-	fs := func(f *Fault) string {
-		if f == nil {
-			return ""
+	check := func(name string, got *CPU, st State) {
+		t.Helper()
+		if st != stRef {
+			t.Fatalf("%s state %v vs step %v (faults %v / %v)", name, st, stRef, got.Fault(), ref.Fault())
 		}
-		return f.Error()
+		if got.Reg != ref.Reg {
+			t.Fatalf("%s registers diverged: %v vs step %v", name, got.Reg, ref.Reg)
+		}
+		if got.IP != ref.IP {
+			t.Fatalf("%s IP diverged: %#x vs step %#x", name, got.IP, ref.IP)
+		}
+		if got.F != ref.F {
+			t.Fatalf("%s flags diverged: %+v vs step %+v", name, got.F, ref.F)
+		}
+		if got.Steps != ref.Steps {
+			t.Fatalf("%s step count diverged: %d vs step %d", name, got.Steps, ref.Steps)
+		}
+		fs := func(f *Fault) string {
+			if f == nil {
+				return ""
+			}
+			return f.Error()
+		}
+		if fs(got.Fault()) != fs(ref.Fault()) {
+			t.Fatalf("%s fault diverged: %q vs step %q", name, fs(got.Fault()), fs(ref.Fault()))
+		}
+		if !got.Coverage.Equal(ref.Coverage) {
+			t.Fatalf("%s coverage bitmaps diverged (%d vs %d edges)",
+				name, got.Coverage.Count(), ref.Coverage.Count())
+		}
 	}
-	if fs(blk.Fault()) != fs(ref.Fault()) {
-		t.Fatalf("fault diverged: block %q vs step %q", fs(blk.Fault()), fs(ref.Fault()))
-	}
-	if !blk.Coverage.Equal(ref.Coverage) {
-		t.Fatalf("coverage bitmaps diverged (%d vs %d edges)",
-			blk.Coverage.Count(), ref.Coverage.Count())
-	}
-	return blk, ref
+	check("block", blk, stBlk)
+	check("trace", trc, stTrc)
+	return trc, ref
 }
 
 // loopProgram is a counted loop with calls and stack traffic: blocks of

@@ -3,6 +3,7 @@ package fuzz
 import (
 	"encoding/binary"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"softsec/internal/asm"
@@ -81,6 +82,11 @@ func buildDictionary(p *kernel.Process) [][]byte {
 type mutator struct {
 	dict     [][]byte
 	maxInput int
+	// scratch is the reusable output buffer: everything the campaign
+	// keeps beyond one execution (corpus entries, first-crash inputs)
+	// is copied on admission, so mutate can hand out the same backing
+	// array every round without changing a single byte or rng draw.
+	scratch []byte
 }
 
 func newMutator(dict [][]byte, maxInput int) mutator {
@@ -92,7 +98,7 @@ var interesting8 = []byte{0, 1, 16, 32, 64, 100, 127, 128, 255}
 
 // fresh synthesizes an input from nothing (used only when every seed
 // crashed and the corpus is empty).
-func (mu mutator) fresh(rng *rand.Rand) []byte {
+func (mu *mutator) fresh(rng *rand.Rand) []byte {
 	n := 4 + rng.Intn(29)
 	b := make([]byte, n)
 	for i := range b {
@@ -103,21 +109,32 @@ func (mu mutator) fresh(rng *rand.Rand) []byte {
 
 // mutate derives a new input from base, optionally splicing with other
 // (a second corpus entry). It stacks 1-4 operators, AFL-havoc style.
-func (mu mutator) mutate(rng *rand.Rand, base, other []byte) []byte {
-	out := append([]byte(nil), base...)
+func (mu *mutator) mutate(rng *rand.Rand, base, other []byte) []byte {
+	out := append(mu.scratch[:0], base...)
 	for n := 1 + rng.Intn(4); n > 0; n-- {
 		out = mu.apply(rng, out, other)
 	}
 	if len(out) == 0 {
-		out = []byte{byte(rng.Intn(256))}
+		out = append(out, byte(rng.Intn(256)))
 	}
 	if len(out) > mu.maxInput {
 		out = out[:mu.maxInput]
 	}
+	mu.scratch = out
 	return out
 }
 
-func (mu mutator) apply(rng *rand.Rand, b, other []byte) []byte {
+// insertGap grows b by n bytes and shifts b[pos:] right by n, opening
+// an uninitialized gap at b[pos:pos+n]. Callers fill the gap from
+// sources that are not themselves inside the gap.
+func insertGap(b []byte, pos, n int) []byte {
+	old := len(b)
+	b = slices.Grow(b, n)[:old+n]
+	copy(b[pos+n:], b[pos:old])
+	return b
+}
+
+func (mu *mutator) apply(rng *rand.Rand, b, other []byte) []byte {
 	switch op := rng.Intn(9); op {
 	case 0: // flip one bit
 		if len(b) > 0 {
@@ -146,24 +163,33 @@ func (mu mutator) apply(rng *rand.Rand, b, other []byte) []byte {
 		if len(mu.dict) > 0 {
 			w := mu.dict[rng.Intn(len(mu.dict))]
 			pos := rng.Intn(len(b) + 1)
-			b = append(b[:pos], append(append([]byte(nil), w...), b[pos:]...)...)
+			b = insertGap(b, pos, len(w))
+			copy(b[pos:], w)
 		}
 	case 5: // insert a run of filler bytes (grows — how overflows happen)
 		n := 1 + rng.Intn(32)
 		v := byte(rng.Intn(256))
 		pos := rng.Intn(len(b) + 1)
-		run := make([]byte, n)
-		for i := range run {
-			run[i] = v
+		b = insertGap(b, pos, n)
+		for i := pos; i < pos+n; i++ {
+			b[i] = v
 		}
-		b = append(b[:pos], append(run, b[pos:]...)...)
 	case 6: // duplicate a chunk (grows)
 		if len(b) > 0 {
 			start := rng.Intn(len(b))
 			n := 1 + rng.Intn(len(b)-start)
-			chunk := append([]byte(nil), b[start:start+n]...)
 			pos := rng.Intn(len(b) + 1)
-			b = append(b[:pos], append(chunk, b[pos:]...)...)
+			b = insertGap(b, pos, n)
+			// The chunk's source bytes after the shift: indices below
+			// pos are in place, the rest moved right by n. Byte-by-byte
+			// is safe — every source index lands outside the gap.
+			for i := 0; i < n; i++ {
+				j := start + i
+				if j >= pos {
+					j += n
+				}
+				b[pos+i] = b[j]
+			}
 		}
 	case 7: // truncate (shrinks)
 		if len(b) > 1 {
@@ -172,8 +198,9 @@ func (mu mutator) apply(rng *rand.Rand, b, other []byte) []byte {
 	case 8: // splice with another corpus entry
 		if len(other) > 0 {
 			cut := rng.Intn(len(b) + 1)
-			tail := other[rng.Intn(len(other)):]
-			b = append(b[:cut], append([]byte(nil), tail...)...)
+			// other is a corpus entry, never an alias of b: appending
+			// straight from it is safe and allocation-free.
+			b = append(b[:cut], other[rng.Intn(len(other)):]...)
 		}
 	}
 	return b

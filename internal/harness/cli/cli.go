@@ -15,6 +15,7 @@ import (
 	"io"
 	"runtime"
 
+	"softsec/internal/cpu"
 	"softsec/internal/harness"
 )
 
@@ -29,6 +30,11 @@ type Sweep struct {
 	// Group restricts selection (and the -scenarios listing) to one
 	// scenario group.
 	Group string
+	// Engine selects the simulator execution tier: "step" (single-step
+	// reference), "block" (basic-block engine), or "trace" (blocks +
+	// superblocks, the default). All tiers are bit-identical — the flag
+	// exists for cross-checking results and for perf comparisons.
+	Engine string
 }
 
 // Register installs the shared sweep flags on fs with uniform names and
@@ -41,6 +47,24 @@ func (s *Sweep) Register(fs *flag.FlagSet, seedDefault int64) {
 	fs.BoolVar(&s.JSON, "json", false, "emit the aggregate report as JSON")
 	fs.BoolVar(&s.List, "scenarios", false, "list every registered harness scenario")
 	fs.StringVar(&s.Group, "group", "", "restrict to one scenario group (see -scenarios)")
+	fs.StringVar(&s.Engine, "engine", "trace", "execution tier: step, block, or trace (bit-identical; trace is fastest)")
+}
+
+// ApplyEngine pins the package-wide execution-tier switches to the
+// -engine selection. It must be called after flag parsing and before any
+// simulation runs; an unknown tier name is an error.
+func (s *Sweep) ApplyEngine() error {
+	switch s.Engine {
+	case "step":
+		cpu.UseBlockEngine, cpu.UseTraceEngine = false, false
+	case "block":
+		cpu.UseBlockEngine, cpu.UseTraceEngine = true, false
+	case "trace", "":
+		cpu.UseBlockEngine, cpu.UseTraceEngine = true, true
+	default:
+		return fmt.Errorf("unknown -engine %q (want step, block, or trace)", s.Engine)
+	}
+	return nil
 }
 
 // Options converts the flag values into engine options.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"softsec/internal/cpu"
 	"softsec/internal/harness"
 )
 
@@ -42,6 +43,34 @@ func TestRegisterDefaults(t *testing.T) {
 	}
 	if s.Trials != 8 || s.Jobs != 2 || !s.JSON || s.Group != "g1" {
 		t.Fatalf("parsed wrong: %+v", s)
+	}
+}
+
+func TestApplyEngine(t *testing.T) {
+	savedB, savedT := cpu.UseBlockEngine, cpu.UseTraceEngine
+	defer func() { cpu.UseBlockEngine, cpu.UseTraceEngine = savedB, savedT }()
+	for _, tc := range []struct {
+		engine       string
+		block, trace bool
+	}{
+		{"step", false, false},
+		{"block", true, false},
+		{"trace", true, true},
+		{"", true, true},
+	} {
+		s := Sweep{Engine: tc.engine}
+		if err := s.ApplyEngine(); err != nil {
+			t.Fatalf("ApplyEngine(%q): %v", tc.engine, err)
+		}
+		if cpu.UseBlockEngine != tc.block || cpu.UseTraceEngine != tc.trace {
+			t.Fatalf("ApplyEngine(%q): block=%v trace=%v, want %v/%v",
+				tc.engine, cpu.UseBlockEngine, cpu.UseTraceEngine, tc.block, tc.trace)
+		}
+	}
+	s := Sweep{Engine: "turbo"}
+	if err := s.ApplyEngine(); err == nil ||
+		!strings.Contains(err.Error(), `unknown -engine "turbo"`) {
+		t.Fatalf("err = %v, want unknown-engine error", err)
 	}
 }
 

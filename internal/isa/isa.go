@@ -461,6 +461,7 @@ func IsControlFlow(op Op) bool {
 var endsBlock [numOps]bool
 var writesMem [numOps]bool
 var writesStack [numOps]bool
+var accessesMem [numOps]bool
 
 func init() {
 	// Terminators: every instruction after which straight-line decoding
@@ -487,6 +488,20 @@ func init() {
 	for _, op := range []Op{PUSH, PUSHI, CALL, CALLR} {
 		writesStack[op] = true
 	}
+	// Ops that touch data memory at all — any read or write, stack or
+	// heap, sequential or as part of a transfer. The complement (the
+	// register-only ops) is what lets the trace tier defer per-
+	// instruction IP/step bookkeeping across a member: an instruction
+	// that never performs a data access can neither consult the data-
+	// access policy checkers nor record a memory fault, which are the
+	// only consumers of the architectural IP mid-block.
+	for _, op := range []Op{
+		RET, LEAVE, PUSH, POP, PUSHI,
+		LOADW, STOREW, LOADB, STOREB,
+		CALL, CALLR, INT,
+	} {
+		accessesMem[op] = true
+	}
 }
 
 // EndsBlock reports whether op terminates a basic block: after it, the
@@ -508,6 +523,13 @@ func WritesMem(op Op) bool { return writesMem[op] }
 // for them would dirty the undo log — and force a page re-copy on every
 // restore — for pages the block never writes.
 func WritesStack(op Op) bool { return writesStack[op] }
+
+// AccessesMem reports whether op reads or writes data memory in any way
+// (loads, stores, every stack operation, and INT, which pushes trap
+// state). Register-only instructions — the complement — are the ones the
+// trace tier may execute with deferred IP/step retirement, because
+// nothing inside their execution observes the architectural IP.
+func AccessesMem(op Op) bool { return accessesMem[op] }
 
 // IsIndirect reports whether op transfers control to a value taken from a
 // register or the stack — the transfers a code-reuse attack hijacks and the

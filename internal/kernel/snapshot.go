@@ -62,7 +62,18 @@ func (p *Process) Restore(s *Snapshot) error {
 	p.CPU.RestoreArch(s.arch)
 	p.brk = s.brk
 	p.Canary = s.canary
-	p.allocs = maps.Clone(s.allocs)
+	// Rebuild the allocation registry in place: on the fuzzing reset
+	// path this runs once per execution, and a maps.Clone here would
+	// allocate a fresh map every reset even when the registry is empty.
+	if len(p.allocs) > 0 {
+		clear(p.allocs)
+	}
+	if len(s.allocs) > 0 {
+		if p.allocs == nil {
+			p.allocs = make(map[uint32]uint32, len(s.allocs))
+		}
+		maps.Copy(p.allocs, s.allocs)
+	}
 	p.Output.Reset()
 	p.Output.Write(s.output)
 	p.SyscallLog = append(p.SyscallLog[:0], s.log...)

@@ -74,7 +74,12 @@ func (h *trapHandler) Trap(c *cpu.CPU, vector uint8) error {
 			return err
 		}
 		n := p.sysRead(a1, a2, a3)
-		p.trace("read(%d, 0x%08x, %d) = %d", a1, a2, a3, int32(n))
+		// Gated at the call site: boxing four variadic args allocates
+		// even when tracing is off, and read/write are the syscalls
+		// fuzzing hits hundreds of thousands of times per second.
+		if p.Config.TraceSyscalls {
+			p.trace("read(%d, 0x%08x, %d) = %d", a1, a2, a3, int32(n))
+		}
 		c.Reg[isa.EAX] = n
 		return nil
 
@@ -86,7 +91,9 @@ func (h *trapHandler) Trap(c *cpu.CPU, vector uint8) error {
 			return err
 		}
 		n := p.sysWrite(a1, a2, a3)
-		p.trace("write(%d, 0x%08x, %d) = %d", a1, a2, a3, int32(n))
+		if p.Config.TraceSyscalls {
+			p.trace("write(%d, 0x%08x, %d) = %d", a1, a2, a3, int32(n))
+		}
 		c.Reg[isa.EAX] = n
 		return nil
 

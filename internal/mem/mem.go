@@ -13,16 +13,20 @@
 // sequential and loop-heavy access patterns of the interpreter resolve
 // without walking the table.
 //
-// Code-cache invalidation is two-tier. A structural generation counter
-// (CodeGen) increments on every event that changes the shape of the
-// address space — Map, Unmap, Protect — and invalidates every cached
-// decode at once. Content writes that could change code (checked writes
-// landing on an executable page, LoadRaw, PokeWord) instead bump a
-// per-page write generation, exposed through CodeStamp, so the CPU's
-// decode and block caches are invalidated only for the page actually
-// written. This is what keeps the caches warm through the no-DEP fuzzing
-// workload, where every page is RWX and every data write used to count as
-// potential self-modification of all code everywhere.
+// Code-cache invalidation is two-tier. The fine tier is a per-page write
+// generation, exposed through CodeStamp: it bumps on every event that
+// could change what executing code on that page means — content writes
+// that could change code (checked writes landing on an executable page,
+// LoadRaw, PokeWord), permission changes (Protect), the page being
+// unmapped or its backing object recycled, and checkpoint rollbacks. The
+// CPU's decode, block and trace caches record (stamp pointer, value)
+// pairs at fill time and treat any change as invalidation of exactly the
+// spans over that page. The coarse tier is the structural generation
+// counter (CodeGen), a whole-address-space epoch kept in every cache key:
+// it no longer moves on Map/Unmap/Protect — those events invalidate
+// precisely the pages they touch, through the fine tier — so the caches
+// stay warm across the map/unmap churn of a fuzzing campaign's heap, and
+// across snapshot restores that undo it.
 package mem
 
 import "fmt"
@@ -118,12 +122,21 @@ type page struct {
 	// seq stamps the checkpoint epoch this page was last saved under
 	// (see snapshot.go); zero means never saved.
 	seq uint64
-	// wgen is the page's write generation: it increments on every content
-	// write that could change code on this page (checked writes while the
-	// page is executable, raw pokes and loads, checkpoint rollbacks). Code
-	// caches record (&wgen, wgen) at fill time via CodeStamp and treat any
-	// change as invalidation of decodes over this page only.
+	// wgen is the page's write generation: it increments on every event
+	// that could change what executing from this page means — content
+	// writes while the page is executable, raw pokes and loads, checkpoint
+	// rollbacks, permission changes, and the page being unmapped or its
+	// object recycled through the page pool. Code caches record
+	// (&wgen, wgen) at fill time via CodeStamp and treat any change as
+	// invalidation of decodes over this page only.
 	wgen uint64
+	// dlo/dhi bound the byte span written in the current mutate-restore
+	// cycle ([dlo, dhi), empty when dlo >= dhi). Checkpoint save resets
+	// the span, every content write extends it, and Restore copies back
+	// only this span instead of the whole page — a fuzzing reset then
+	// costs bytes-actually-dirtied, not pages-touched. Valid only while
+	// the page is saved under the active checkpoint epoch.
+	dlo, dhi uint32
 }
 
 type l2table [l2Size]*page
@@ -147,6 +160,15 @@ type Memory struct {
 	// checkpoint. See snapshot.go.
 	snap    *Checkpoint
 	snapSeq uint64
+
+	// free is the page pool: page objects released by Unmap (and by
+	// Restore removing run-created pages) are recycled by the next Map
+	// instead of churning the garbage collector — the sbrk-per-execution
+	// pattern of a fuzzing campaign allocates its heap pages exactly once.
+	// Recycling is safe for the code caches because releasing a page bumps
+	// its write generation, so any cached stamp into its previous life can
+	// never validate again.
+	free []*page
 }
 
 // New returns an empty address space.
@@ -192,31 +214,64 @@ func (m *Memory) setPage(pn uint32, p *page) {
 	t[pn&l2Mask] = p
 }
 
-// CodeGen returns the current structural code generation. It increments
-// on every event that changes the shape or executability of the address
-// space: Map, Unmap and Protect. The CPU's decode and block caches treat
-// any change as a full invalidation. Content writes do not bump it — they
-// bump the written page's write generation instead (see CodeStamp), so a
-// cached decode is valid exactly while both the structural generation it
-// was filled under and the write stamps of the pages it spans are still
-// current.
+// CodeGen returns the structural code generation: the address-space
+// epoch every cached decode, block and trace is keyed under. The CPU's
+// caches treat any change as a full invalidation. Structural events no
+// longer move it — Map, Unmap and Protect invalidate exactly the pages
+// they touch by bumping those pages' write generations (see CodeStamp) —
+// so a cached decode is valid exactly while the generation it was filled
+// under and the write stamps of the pages it spans are both current. The
+// counter remains in the key as the full-flush reserve: an epoch change
+// invalidates everything at once without touching any page.
 func (m *Memory) CodeGen() uint64 { return m.gen }
 
 // CodeStamp returns the write-generation stamp for code at addr: a
 // pointer to the owning page's write-generation counter plus its current
-// value. A cached decode spanning addr is content-valid while the pointed-
-// to counter still equals the returned value (page identity changes are
-// covered separately by CodeGen). Returns (nil, 0) when addr is unmapped.
+// value. A cached decode spanning addr is valid while the pointed-to
+// counter still equals the returned value: content writes, permission
+// changes, unmapping and page-object recycling all move the counter.
+// Returns (nil, 0) when addr is unmapped.
 //
-// The pointer stays valid for the lifetime of the page object; consumers
-// must pair it with a CodeGen check, which catches the page being
-// unmapped or replaced.
+// The pointer stays valid for the lifetime of the page object, and a
+// page leaving the address space (or entering the page pool) bumps its
+// counter first — a stale stamp can be dereferenced safely but can never
+// compare equal again.
 func (m *Memory) CodeStamp(addr uint32) (*uint64, uint64) {
 	p := m.page(addr)
 	if p == nil {
 		return nil, 0
 	}
 	return &p.wgen, p.wgen
+}
+
+// maxFreePages bounds the page pool: 512 pages (2 MiB) comfortably covers
+// the per-execution heap churn of a fuzzing campaign without letting a
+// one-off giant mapping pin memory forever.
+const maxFreePages = 512
+
+// allocPage returns a fresh zeroed page with the given permissions,
+// recycling from the page pool when possible.
+func (m *Memory) allocPage(perm Perm) *page {
+	if n := len(m.free); n > 0 {
+		p := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		p.data = [PageSize]byte{}
+		p.perm = perm
+		p.seq = 0
+		return p
+	}
+	return &page{perm: perm}
+}
+
+// releasePage retires a page leaving the address space: its write
+// generation is bumped so no cached code stamp into it can validate
+// again, and the object enters the page pool for the next Map.
+func (m *Memory) releasePage(p *page) {
+	p.wgen++
+	if len(m.free) < maxFreePages {
+		m.free = append(m.free, p)
+	}
 }
 
 // Map maps [addr, addr+size) with the given permissions. addr and size must
@@ -240,15 +295,20 @@ func (m *Memory) Map(addr, size uint32, perm Perm) error {
 		}
 	}
 	for i := uint32(0); i < n; i++ {
-		p := &page{perm: perm}
+		p := m.allocPage(perm)
 		if m.snap != nil {
 			m.snap.saveAbsent(first + i)
 			p.seq = m.snap.seq
+			// If this pn already has a content entry in the undo log
+			// (the run unmapped a checkpoint page and is remapping the
+			// slot), the fresh zeroed page diverges from checkpoint
+			// content everywhere: claim the full span so Restore copies
+			// the whole page back.
+			p.dlo, p.dhi = 0, PageSize
 		}
 		m.setPage(first+i, p)
 	}
 	m.npages += int(n)
-	m.gen++
 	return nil
 }
 
@@ -266,10 +326,10 @@ func (m *Memory) Unmap(addr, size uint32) error {
 			}
 			m.setPage(first+i, nil)
 			m.npages--
+			m.releasePage(p)
 		}
 	}
 	m.lastPage = nil // the cached page may be the one removed
-	m.gen++
 	return nil
 }
 
@@ -291,9 +351,13 @@ func (m *Memory) Protect(addr, size uint32, perm Perm) error {
 		if m.snap != nil && p.seq != m.snap.seq {
 			m.snap.save(first+i, p)
 		}
+		if p.perm != perm {
+			// What execution from this page means changed: cached decodes
+			// minted under the old permissions must not survive.
+			p.wgen++
+		}
 		p.perm = perm
 	}
-	m.gen++
 	return nil
 }
 
@@ -335,7 +399,7 @@ func (m *Memory) Write8(addr uint32, v byte) error {
 	if err != nil {
 		return err
 	}
-	m.touch(addr, p)
+	m.touch(addr, 1, p)
 	p.data[addr&PageMask] = v
 	if p.perm&X != 0 {
 		p.wgen++ // self-modifying code on a writable+executable page
@@ -385,7 +449,7 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 		if err != nil {
 			return err
 		}
-		m.touch(addr, p)
+		m.touch(addr, 4, p)
 		o := addr & PageMask
 		p.data[o] = byte(v)
 		p.data[o+1] = byte(v >> 8)
@@ -458,8 +522,12 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
 		if err != nil {
 			return written, err
 		}
-		m.touch(a, p)
-		nc := copy(p.data[a&PageMask:], b[written:])
+		nc := int(PageSize - a&PageMask)
+		if rem := len(b) - written; nc > rem {
+			nc = rem
+		}
+		m.touch(a, uint32(nc), p)
+		copy(p.data[a&PageMask:], b[written:written+nc])
 		if p.perm&X != 0 {
 			p.wgen++
 		}
@@ -479,8 +547,13 @@ func (m *Memory) LoadRaw(addr uint32, b []byte) error {
 		if p == nil {
 			return &Fault{Kind: FaultUnmapped, Addr: a, Access: W}
 		}
-		m.touch(a, p)
-		off += copy(p.data[a&PageMask:], b[off:])
+		nc := int(PageSize - a&PageMask)
+		if rem := len(b) - off; nc > rem {
+			nc = rem
+		}
+		m.touch(a, uint32(nc), p)
+		copy(p.data[a&PageMask:], b[off:off+nc])
+		off += nc
 		p.wgen++
 	}
 	return nil
@@ -532,7 +605,7 @@ func (m *Memory) PokeWord(addr uint32, v uint32) {
 		if p == nil {
 			return
 		}
-		m.touch(addr, p)
+		m.touch(addr, 4, p)
 		o := addr & PageMask
 		p.data[o] = byte(v)
 		p.data[o+1] = byte(v >> 8)
@@ -543,7 +616,7 @@ func (m *Memory) PokeWord(addr uint32, v uint32) {
 	}
 	for i := uint32(0); i < 4; i++ {
 		if p := m.page(addr + i); p != nil {
-			m.touch(addr+i, p)
+			m.touch(addr+i, 1, p)
 			p.data[(addr+i)&PageMask] = byte(v >> (8 * i))
 			p.wgen++
 		}

@@ -31,12 +31,13 @@ import "fmt"
 // Decode-cache interaction: Restore bumps the write generation of every
 // page whose content it rolls back, so decodes cached against the
 // mutated-run bytes of exactly those pages are invalidated — and no
-// others. Pages never written since the checkpoint (under DEP, all of
-// text) keep their stamps, so their cached decodes and blocks stay warm
-// across resets — the fuzzing fast path. Structural changes (Map, Unmap,
-// Protect) since the checkpoint additionally force a fresh, never-cached
-// structural generation at restore, because page identities may have
-// changed under cached entries.
+// others. Pages untouched since the checkpoint (under DEP, all of text)
+// keep their stamps, so their cached decodes, blocks and traces stay warm
+// across resets — the fuzzing fast path. Structural changes since the
+// checkpoint need no special pass here: Map, Unmap and Protect invalidate
+// per page through the same write-generation tier as they happen (see
+// mem.go), and the created pages Restore removes are retired through
+// releasePage, which bumps their stamps before recycling them.
 
 // undoPage records the pre-checkpoint content and permissions of one
 // page. A nil *undoPage in the log means "no page existed here at
@@ -53,7 +54,6 @@ type undoPage struct {
 type Checkpoint struct {
 	m      *Memory
 	seq    uint64
-	gen    uint64
 	npages int
 	pages  map[uint32]*undoPage
 	// dirty lists the pages touched since the last Restore (or since the
@@ -72,7 +72,6 @@ func (m *Memory) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{
 		m:      m,
 		seq:    m.snapSeq,
-		gen:    m.gen,
 		npages: m.npages,
 		pages:  make(map[uint32]*undoPage),
 	}
@@ -104,23 +103,47 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 		cur := m.pageAt(pn)
 		if u != nil {
 			if cur == nil {
-				cur = &page{}
+				// The run unmapped a checkpoint page: recreate it whole
+				// (the replacement page carries no dirty span).
+				cur = m.allocPage(u.perm)
 				m.setPage(pn, cur)
 				m.npages++
+				cur.data = u.data
+				cur.perm = u.perm
+				cur.seq = 0
+				cur.wgen++
+				continue
 			}
-			cur.data = u.data
+			// Roll back only the span the run wrote — every content
+			// mutation path routes through touch, which maintains it.
+			// An untouched span with unchanged permissions (a page saved
+			// by PretouchWrite or Protect and then left alone) is
+			// byte-identical to the checkpoint already: skip the copy
+			// AND the write-generation bump, keeping decodes, blocks and
+			// traces over it warm across the reset.
+			if cur.dlo < cur.dhi {
+				copy(cur.data[cur.dlo:cur.dhi], u.data[cur.dlo:cur.dhi])
+				// The rollback rewrote this page's bytes: decodes cached
+				// against the mutated-run content must not survive.
+				cur.wgen++
+			} else if cur.perm != u.perm {
+				// Perm-only rollback still changes what executing from
+				// the page means.
+				cur.wgen++
+			}
 			cur.perm = u.perm
 			// Back to checkpoint content and un-saved: the next write in
 			// the next cycle re-dirties the page (cheap — the log entry
 			// already exists, so no second page copy ever happens).
 			cur.seq = 0
-			// The rollback rewrote this page's bytes: decodes cached
-			// against the mutated-run content must not survive.
-			cur.wgen++
 		} else {
 			if cur != nil {
 				m.setPage(pn, nil)
 				m.npages--
+				// Retiring the run-created page bumps its write stamp, so
+				// decodes cached against code injected into it die, and
+				// recycles the object for the next run's Map.
+				m.releasePage(cur)
 			}
 			// A created-page entry is spent once the page is gone; drop
 			// it so workloads that map transient pages (heap churn) do
@@ -134,18 +157,6 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 		return fmt.Errorf("mem: Restore: page accounting diverged (%d != %d)", m.npages, cp.npages)
 	}
 	m.lastPN, m.lastPage = 0, nil
-	if m.gen != cp.gen {
-		// Mapping or permission changes happened since the checkpoint;
-		// page identities under cached entries may have changed, so move
-		// to a fresh structural generation — and resync the checkpoint to
-		// it. Post-restore memory is byte-identical to checkpoint time,
-		// so decodes minted at the fresh generation encode checkpoint
-		// bytes and stay valid across future restores: one divergent run
-		// must not condemn the rest of the campaign to cold decode
-		// caches.
-		m.gen++
-		cp.gen = m.gen
-	}
 	return nil
 }
 
@@ -167,6 +178,31 @@ func (m *Memory) PretouchWrite(addr uint32) {
 	}
 }
 
+// PretouchWriteSpan is PretouchWrite for every page overlapping
+// [addr, addr+size): one call per trace hoists the undo-log bookkeeping
+// for the whole stack span a superblock's chained PUSH/CALL runs provably
+// write. Unmapped pages in the span are skipped (their writes will fault
+// or slow-path as usual), and a span that would wrap the address space is
+// ignored — the pretouch is an optimization, never a semantic
+// requirement.
+func (m *Memory) PretouchWriteSpan(addr, size uint32) {
+	if m.snap == nil || size == 0 {
+		return
+	}
+	end := addr + size - 1
+	if end < addr {
+		return // wraps the address space
+	}
+	for pn, last := addr>>pageShift, end>>pageShift; ; pn++ {
+		if p := m.pageAt(pn); p != nil && p.seq != m.snap.seq {
+			m.snap.save(pn, p)
+		}
+		if pn == last {
+			break
+		}
+	}
+}
+
 // save records page p (number pn) on this cycle's dirty list — and, on
 // the page's first-ever touch under this checkpoint, copies its
 // pre-checkpoint state into the undo log — then stamps it saved so the
@@ -174,6 +210,10 @@ func (m *Memory) PretouchWrite(addr uint32) {
 // before mutating the page.
 func (cp *Checkpoint) save(pn uint32, p *page) {
 	p.seq = cp.seq
+	// A fresh cycle for this page: no bytes written yet. PretouchWrite
+	// and Protect save pages that may then never be written; an empty
+	// span at Restore means their content (and cached decodes) survive.
+	p.dlo, p.dhi = PageSize, 0
 	cp.dirty = append(cp.dirty, pn)
 	if _, ok := cp.pages[pn]; ok {
 		return
@@ -193,10 +233,22 @@ func (cp *Checkpoint) saveAbsent(pn uint32) {
 	cp.pages[pn] = nil
 }
 
-// touch is the hot-path hook every page mutation goes through: a no-op
-// unless a checkpoint is active and the page has not been saved yet.
-func (m *Memory) touch(addr uint32, p *page) {
-	if m.snap != nil && p.seq != m.snap.seq {
+// touch is the hot-path hook every page content mutation goes through,
+// announcing a write of n bytes at addr: a nil test when no checkpoint
+// is active, and a dirty-span extension when one is (the first touch per
+// cycle additionally saves the page). The span is what lets Restore copy
+// back only the bytes a run actually wrote.
+func (m *Memory) touch(addr, n uint32, p *page) {
+	if m.snap == nil {
+		return
+	}
+	if p.seq != m.snap.seq {
 		m.snap.save(addr>>pageShift, p)
+	}
+	if o := addr & PageMask; o < p.dlo {
+		p.dlo = o
+	}
+	if e := addr&PageMask + n; e > p.dhi {
+		p.dhi = e
 	}
 }
