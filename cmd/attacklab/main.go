@@ -53,6 +53,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "attacklab:", err)
 		os.Exit(2)
 	}
+	if _, err := sweep.LayoutProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacklab:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range core.Attacks() {
@@ -62,7 +66,7 @@ func main() {
 	}
 
 	reg := harness.NewRegistry()
-	if err := core.RegisterScenarios(reg); err != nil {
+	if err := core.RegisterScenariosFor(reg, sweep.Profile); err != nil {
 		fmt.Fprintln(os.Stderr, "attacklab:", err)
 		os.Exit(1)
 	}
@@ -110,6 +114,10 @@ func main() {
 	}
 	fmt.Println("T1 — attack techniques vs deployed countermeasures (Sections III-B, III-C)")
 	fmt.Println()
-	m := core.RunMatrixJobs(core.Attacks(), core.StandardConfigs(), sweep.Jobs)
+	cfgs := core.StandardConfigs()
+	for i := range cfgs {
+		cfgs[i].Profile = sweep.Profile
+	}
+	m := core.RunMatrixJobs(core.Attacks(), cfgs, sweep.Jobs)
 	fmt.Print(m.Render())
 }

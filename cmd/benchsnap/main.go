@@ -9,6 +9,14 @@
 //	benchsnap -quick -o /tmp/s.json  # reduced counts (smoke/CI)
 //	benchsnap -validate              # check the committed snapshot
 //	benchsnap -validate -f /tmp/s.json -strict=false
+//	benchsnap -profiles              # per-layout-profile fuzz throughput
+//	benchsnap -profiles -validate    # check BENCH_profiles.json
+//
+// -profiles measures the echo-victim fuzz campaign once per machine
+// layout profile (internal/layout) and writes BENCH_profiles.json — the
+// cross-profile throughput comparison that shows layout parameterization
+// stays off the hot path. -validate dispatches on the snapshot's "tool"
+// tag, so it checks either kind of file.
 //
 // -validate re-reads a snapshot and checks it without re-measuring:
 // schema and shape, positive finite metrics, trace-tier sanity (a trace
@@ -33,6 +41,7 @@ import (
 	"softsec/internal/cpu"
 	"softsec/internal/fuzz"
 	"softsec/internal/kernel"
+	"softsec/internal/layout"
 	"softsec/internal/mem"
 	"softsec/internal/minc"
 )
@@ -59,6 +68,23 @@ type Snapshot struct {
 	Trace   TraceSummary       `json:"trace"`
 }
 
+// ProfilesSnapshot is the on-disk format of -profiles mode
+// (BENCH_profiles.json): fuzz-campaign throughput of the echo victim on
+// every machine layout profile (internal/layout). The cell answers
+// "does parameterizing frame geometry and segment placement cost
+// simulator throughput?" — the profiles differ only in layout, so any
+// spread beyond noise would mean profile-dependent code on a hot path.
+type ProfilesSnapshot struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool"`
+	Quick  bool   `json:"quick,omitempty"`
+	Counts struct {
+		FuzzExecs int `json:"fuzz_execs"`
+	} `json:"counts"`
+	// ExecsPerSec keys are layout profile names.
+	ExecsPerSec map[string]float64 `json:"execs_per_sec"`
+}
+
 // TraceSummary records the trace-tier counters of the chain8 run — the
 // proof that the trace_chain8 number actually measured superblocks.
 type TraceSummary struct {
@@ -75,13 +101,24 @@ type TraceSummary struct {
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_trace.json", "snapshot file to write")
+		out      = flag.String("o", "", "snapshot file to write (default BENCH_trace.json, BENCH_profiles.json with -profiles)")
 		validate = flag.Bool("validate", false, "validate a snapshot instead of measuring")
-		file     = flag.String("f", "BENCH_trace.json", "snapshot file to validate")
+		file     = flag.String("f", "", "snapshot file to validate (default like -o)")
 		quick    = flag.Bool("quick", false, "reduced work counts (smoke runs)")
 		strict   = flag.Bool("strict", true, "with -validate: enforce the absolute acceptance floors")
+		profiles = flag.Bool("profiles", false, "measure fuzz throughput per machine layout profile instead of the trace-tier cells")
 	)
 	flag.Parse()
+	def := "BENCH_trace.json"
+	if *profiles {
+		def = "BENCH_profiles.json"
+	}
+	if *out == "" {
+		*out = def
+	}
+	if *file == "" {
+		*file = def
+	}
 
 	if *validate {
 		if err := validateFile(*file, *strict); err != nil {
@@ -92,7 +129,13 @@ func main() {
 		return
 	}
 
-	snap, err := measure(*quick)
+	var snap any
+	var err error
+	if *profiles {
+		snap, err = measureProfiles(*quick)
+	} else {
+		snap, err = measure(*quick)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
@@ -107,14 +150,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
-	for k, v := range snap.NsPerInstr {
-		fmt.Printf("  %-18s %8.2f ns/instr\n", k, v)
-	}
-	for k, v := range snap.ExecsPerSec {
-		fmt.Printf("  %-18s %8.0f execs/sec\n", k, v)
-	}
-	for k, v := range snap.NsPerOp {
-		fmt.Printf("  %-18s %8.1f ns/op\n", k, v)
+	switch s := snap.(type) {
+	case *Snapshot:
+		for k, v := range s.NsPerInstr {
+			fmt.Printf("  %-18s %8.2f ns/instr\n", k, v)
+		}
+		for k, v := range s.ExecsPerSec {
+			fmt.Printf("  %-18s %8.0f execs/sec\n", k, v)
+		}
+		for k, v := range s.NsPerOp {
+			fmt.Printf("  %-18s %8.1f ns/op\n", k, v)
+		}
+	case *ProfilesSnapshot:
+		for _, name := range layout.Names() {
+			fmt.Printf("  %-18s %8.0f execs/sec\n", name, s.ExecsPerSec[name])
+		}
 	}
 }
 
@@ -194,6 +244,31 @@ func measure(quick bool) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot_restore: %w", err)
 	}
 	s.NsPerOp = map[string]float64{"snapshot_restore": ns}
+	return s, nil
+}
+
+// measureProfiles times the echo-victim fuzz campaign (production trace
+// tier, DEP on) once per layout profile with identical budgets.
+func measureProfiles(quick bool) (*ProfilesSnapshot, error) {
+	s := &ProfilesSnapshot{Schema: schemaVersion, Tool: "benchsnap-profiles", Quick: quick}
+	s.Counts.FuzzExecs = 1 << 18
+	if quick {
+		s.Counts.FuzzExecs = 1 << 13
+	}
+
+	savedB, savedT := cpu.UseBlockEngine, cpu.UseTraceEngine
+	defer func() { cpu.UseBlockEngine, cpu.UseTraceEngine = savedB, savedT }()
+	cpu.UseBlockEngine, cpu.UseTraceEngine = true, true
+
+	s.ExecsPerSec = map[string]float64{}
+	for _, name := range layout.Names() {
+		cfg := fuzz.Config{Name: "echo", Source: echoVictim, Seed: 1, DEP: true, Profile: name}
+		eps, err := timeFuzz(cfg, s.Counts.FuzzExecs)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", name, err)
+		}
+		s.ExecsPerSec[name] = eps
+	}
 	return s, nil
 }
 
@@ -313,6 +388,18 @@ func validateFile(path string, strict bool) error {
 	if err != nil {
 		return err
 	}
+	// Dispatch on the tool tag: one -validate entry point covers both
+	// snapshot kinds, and a file of the wrong kind fails on its own
+	// schema instead of a confusing unknown-field error.
+	var peek struct {
+		Tool string `json:"tool"`
+	}
+	if err := json.Unmarshal(b, &peek); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if peek.Tool == "benchsnap-profiles" {
+		return validateProfiles(path, b, strict)
+	}
 	var s Snapshot
 	dec := json.NewDecoder(strings.NewReader(string(b)))
 	dec.DisallowUnknownFields()
@@ -386,6 +473,63 @@ func validateFile(path string, strict bool) error {
 		}
 	}
 
+	if len(errs) > 0 {
+		return fmt.Errorf("%s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// validateProfiles checks a BENCH_profiles.json snapshot: shape, one
+// positive finite cell per known layout profile, and — under -strict — a
+// generous absolute throughput floor plus a bounded cross-profile spread
+// (layout is configuration, not a hot-path cost, so no profile may run at
+// less than a quarter of the fastest).
+func validateProfiles(path string, b []byte, strict bool) error {
+	var s ProfilesSnapshot
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	if s.Schema != schemaVersion {
+		fail("schema %d, want %d", s.Schema, schemaVersion)
+	}
+	if s.Tool != "benchsnap-profiles" {
+		fail("tool %q, want benchsnap-profiles", s.Tool)
+	}
+	if s.Counts.FuzzExecs <= 0 {
+		fail("non-positive fuzz_execs: %d", s.Counts.FuzzExecs)
+	}
+	best := 0.0
+	for _, name := range layout.Names() {
+		v, ok := s.ExecsPerSec[name]
+		if !ok {
+			fail("execs_per_sec: missing profile %q", name)
+		} else if !(v > 0) || math.IsInf(v, 0) {
+			fail("execs_per_sec[%q] = %v, want positive finite", name, v)
+		} else if v > best {
+			best = v
+		}
+	}
+	for name := range s.ExecsPerSec {
+		if _, err := layout.ByName(name); err != nil {
+			fail("execs_per_sec: unknown profile %q", name)
+		}
+	}
+	if strict && best > 0 {
+		if best < 2e5 {
+			fail("best profile cell %.0f execs/sec, want >= 200000", best)
+		}
+		for name, v := range s.ExecsPerSec {
+			if v > 0 && v < best/4 {
+				fail("profile %q %.0f execs/sec < quarter of best %.0f: layout should not cost throughput", name, v, best)
+			}
+		}
+	}
 	if len(errs) > 0 {
 		return fmt.Errorf("%s:\n  %s", path, strings.Join(errs, "\n  "))
 	}

@@ -12,8 +12,11 @@
 // its own deterministic seed from -seed, re-randomizing the ASLR layout
 // and canary value when those mitigations are enabled, and the aggregate
 // success rate is reported. Results are independent of -jobs. The sweep
-// flags (-trials/-jobs/-seed/-json/-scenarios/-group/-engine) are shared
-// with cmd/attacklab through internal/harness/cli; -engine selects the
+// flags (-trials/-jobs/-seed/-json/-scenarios/-group/-engine/-profile)
+// are shared with cmd/attacklab through internal/harness/cli; -profile
+// selects the machine layout profile (internal/layout) the victim
+// platform runs — classic, canary-below-vla, or inverted-locals — and
+// -engine selects the
 // execution tier (step, block, or trace — bit-identical, trace fastest),
 // and -enginestats prints the block/trace dispatch counters and the
 // superblock length histogram after a single-trial run:
@@ -65,6 +68,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "secsim:", err)
 		os.Exit(2)
 	}
+	if _, err := sweep.LayoutProfile(); err != nil {
+		fmt.Fprintln(os.Stderr, "secsim:", err)
+		os.Exit(2)
+	}
 
 	if *scen != "" && (sweep.Group != "" || sweep.List) {
 		fmt.Fprintln(os.Stderr, "secsim: -scenario is mutually exclusive with -group/-scenarios (one cell, one group, or a listing — not several)")
@@ -113,6 +120,7 @@ func main() {
 		Checked:     *checked,
 		ShadowStack: *shadow,
 		CFI:         *cfiLvl,
+		Profile:     sweep.Profile,
 	}
 
 	if sweep.Trials > 1 || sweep.JSON {
@@ -192,7 +200,7 @@ func printEngineStats(bst *cpu.BlockStats, tst *cpu.TraceStats) {
 // the fuzz/ campaign cells.
 func runScenarios(name string, sweep *cli.Sweep) {
 	reg := harness.NewRegistry()
-	if err := core.RegisterScenarios(reg); err != nil {
+	if err := core.RegisterScenariosFor(reg, sweep.Profile); err != nil {
 		fmt.Fprintln(os.Stderr, "secsim:", err)
 		os.Exit(1)
 	}

@@ -190,6 +190,43 @@ main:
 			t.Fatalf("attacklab output:\n%s", out)
 		}
 	})
+	t.Run("secsim unknown profile exits 2", func(t *testing.T) {
+		out := runTool(t, bin, "secsim", 2, "-attack", "rop-chain", "-profile", "martian")
+		if !strings.Contains(out, `unknown layout profile "martian"`) {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+	})
+	t.Run("attacklab unknown profile exits 2", func(t *testing.T) {
+		out := runTool(t, bin, "attacklab", 2, "-list", "-profile", "martian")
+		if !strings.Contains(out, `unknown layout profile "martian"`) {
+			t.Fatalf("attacklab output:\n%s", out)
+		}
+	})
+	t.Run("secsim profile flips the canary cell", func(t *testing.T) {
+		// The CVE-2023-4039 shape end to end: the same attack under the
+		// same mitigation is detected on the classic layout (exit 0) and
+		// compromised on canary-below-vla (exit 1).
+		out := runTool(t, bin, "secsim", 0, "-attack", "return-to-libc", "-canary", "-profile", "classic")
+		if !strings.Contains(out, "detected") {
+			t.Fatalf("classic output:\n%s", out)
+		}
+		out = runTool(t, bin, "secsim", 1, "-attack", "return-to-libc", "-canary", "-profile", "canary-below-vla")
+		if !strings.Contains(out, "COMPROMISED") {
+			t.Fatalf("canary-below-vla output:\n%s", out)
+		}
+	})
+	t.Run("attacklab profile group smoke", func(t *testing.T) {
+		out := runTool(t, bin, "attacklab", 0, "-group", "t1p", "-trials", "1", "-jobs", "2")
+		for _, want := range []string{
+			"t1p/classic/return-to-libc/canary",
+			"t1p/canary-below-vla/return-to-libc/canary",
+			"t1p/inverted-locals/data-only/none",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("t1p sweep missing %q:\n%s", want, out)
+			}
+		}
+	})
 	t.Run("secsim enginestats", func(t *testing.T) {
 		out := runTool(t, bin, "secsim", 1, "-attack", "rop-chain", "-dep", "-enginestats")
 		for _, want := range []string{"block stats:", "trace stats:", "trace exits:", "trace len:"} {
@@ -213,6 +250,25 @@ main:
 		out := runTool(t, bin, "benchsnap", 0, "-quick", "-o", snap)
 		if !strings.Contains(out, "trace_chain8") {
 			t.Fatalf("benchsnap output:\n%s", out)
+		}
+		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", snap, "-strict=false")
+		if !strings.Contains(out, "ok") {
+			t.Fatalf("benchsnap validate output:\n%s", out)
+		}
+	})
+	t.Run("benchsnap validates committed profiles snapshot", func(t *testing.T) {
+		out := runTool(t, bin, "benchsnap", 0, "-profiles", "-validate")
+		if !strings.Contains(out, "BENCH_profiles.json: ok") {
+			t.Fatalf("benchsnap output:\n%s", out)
+		}
+	})
+	t.Run("benchsnap profiles quick roundtrip", func(t *testing.T) {
+		snap := filepath.Join(work, "profsnap.json")
+		out := runTool(t, bin, "benchsnap", 0, "-profiles", "-quick", "-o", snap)
+		for _, want := range []string{"classic", "canary-below-vla", "inverted-locals"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("benchsnap -profiles output missing %q:\n%s", want, out)
+			}
 		}
 		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", snap, "-strict=false")
 		if !strings.Contains(out, "ok") {

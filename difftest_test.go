@@ -67,8 +67,11 @@ func TestDifferentialCatalog(t *testing.T) {
 				t.Fatalf("empty group %q", group)
 			}
 			trials := 2
-			if group == "fuzz" {
+			if group == "fuzz" || group == "fuzzp" {
 				trials = 1 // a trial is a whole campaign
+			}
+			if group == "t1p" {
+				trials = 1 // profile-spanning grid: 99 cells x 3 tiers
 			}
 			opt := harness.Options{Trials: trials, Jobs: 1, BaseSeed: 7}
 

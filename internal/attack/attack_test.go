@@ -9,6 +9,7 @@ import (
 	"softsec/internal/cpu"
 	"softsec/internal/isa"
 	"softsec/internal/kernel"
+	"softsec/internal/layout"
 	"softsec/internal/mem"
 	"softsec/internal/minc"
 )
@@ -118,27 +119,38 @@ func TestGadgetDecodeRejectsJunk(t *testing.T) {
 }
 
 func TestSmashSpecLayout(t *testing.T) {
+	// Payload geometry for a 16-byte buffer comes from the classic
+	// profile's frame arithmetic, the same API the attack builders use.
+	f := layout.Classic().Frame(false, 16)
 	s := NewSmash(16, 0x08048123)
+	if s.RetOff != f.RetOffFrom(0) {
+		t.Fatalf("NewSmash RetOff %d, want %d", s.RetOff, f.RetOffFrom(0))
+	}
 	b := s.Build()
-	if len(b) != 24 {
+	if len(b) != f.RetOffFrom(0)+4 {
 		t.Fatalf("payload len %d", len(b))
 	}
 	if b[0] != 'A' || b[15] != 'A' {
 		t.Fatal("filler wrong")
 	}
-	if le.Uint32(b[16:]) != 0x42424242 {
+	if le.Uint32(b[f.EBPOffFrom(0):]) != 0x42424242 {
 		t.Fatal("saved EBP slot wrong")
 	}
-	if le.Uint32(b[20:]) != 0x08048123 {
+	if le.Uint32(b[f.RetOffFrom(0):]) != 0x08048123 {
 		t.Fatal("return address slot wrong")
 	}
-	s2 := (&SmashSpec{RetOff: 24, Ret: 1, CanaryOff: -1}).WithCanary(16, 0xAABBCCDD)
+	fc := layout.Classic().Frame(true, 16)
+	canaryOff, crossed := fc.CanaryOffFrom(0)
+	if !crossed {
+		t.Fatal("classic canary should sit between buf and the return address")
+	}
+	s2 := (&SmashSpec{RetOff: fc.RetOffFrom(0), Ret: 1, CanaryOff: -1}).WithCanary(canaryOff, 0xAABBCCDD)
 	b2 := s2.Build()
-	if le.Uint32(b2[16:]) != 0xAABBCCDD {
+	if le.Uint32(b2[canaryOff:]) != 0xAABBCCDD {
 		t.Fatal("canary slot wrong")
 	}
-	s3 := &SmashSpec{RetOff: 20, Ret: 2, CanaryOff: -1, Suffix: []byte{9, 9}}
-	if n := len(s3.Build()); n != 26 {
+	s3 := &SmashSpec{RetOff: f.RetOffFrom(0), Ret: 2, CanaryOff: -1, Suffix: []byte{9, 9}}
+	if n := len(s3.Build()); n != f.RetOffFrom(0)+4+2 {
 		t.Fatalf("suffix payload len %d", n)
 	}
 }

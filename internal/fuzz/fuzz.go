@@ -37,6 +37,7 @@ import (
 	"softsec/internal/cfi"
 	"softsec/internal/cpu"
 	"softsec/internal/kernel"
+	"softsec/internal/layout"
 	"softsec/internal/minc"
 )
 
@@ -81,6 +82,11 @@ type Config struct {
 	MaxHeap uint32
 	// Seeds is the initial corpus; nil means DefaultSeeds().
 	Seeds [][]byte
+	// Profile names the machine layout profile (internal/layout) the
+	// victim is compiled for and loaded on. Empty means "classic". Like
+	// the matrix's Mitigations.Profile, it is platform identity, not a
+	// mitigation, so MitLabel excludes it.
+	Profile string
 }
 
 // Campaign defaults.
@@ -287,8 +293,12 @@ func New(cfg Config) (*Campaign, error) {
 		canarySeed = rng.Int63() | 1
 	}
 
+	prof, err := layout.ByName(cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %w", err)
+	}
 	img, err := minc.Compile("victim", cfg.Source, minc.Options{
-		Canary: cfg.Canary, BoundsCheck: cfg.Checked,
+		Canary: cfg.Canary, BoundsCheck: cfg.Checked, Layout: prof,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: compile victim: %w", err)
@@ -306,6 +316,7 @@ func New(cfg Config) (*Campaign, error) {
 		ShadowStack: cfg.ShadowStack,
 		MaxSteps:    cfg.MaxSteps,
 		MaxHeap:     cfg.MaxHeap,
+		Profile:     prof,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: load: %w", err)

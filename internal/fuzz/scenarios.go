@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"softsec/internal/harness"
+	"softsec/internal/layout"
 )
 
 // Harness integration: every (victim, mitigation stack) pair is one
@@ -103,6 +104,15 @@ const ScenarioExecs = 1500
 // Scenarios returns the fuzz campaign cells for harness registration
 // (core.RegisterScenarios includes them under group "fuzz").
 func Scenarios() []harness.Scenario {
+	return ScenariosFor("")
+}
+
+// ScenariosFor returns the same "fuzz" group cells with the named layout
+// profile baked into every campaign. Cell names are unchanged — the
+// profile is platform identity, like running the suite on different
+// hardware — so per-trial seeds (derived from names) stay comparable
+// across profiles.
+func ScenariosFor(profile string) []harness.Scenario {
 	var out []harness.Scenario
 	for _, v := range Victims() {
 		for _, mc := range campaignConfigs() {
@@ -115,6 +125,7 @@ func Scenarios() []harness.Scenario {
 				ShadowStack: mc.shadow,
 				CFI:         mc.cfi,
 				MaxExecs:    ScenarioExecs,
+				Profile:     profile,
 			}
 			out = append(out, harness.Scenario{
 				Name:  "fuzz/" + v.Name + "/" + cfg.MitLabel(),
@@ -126,6 +137,47 @@ func Scenarios() []harness.Scenario {
 				},
 				Run: campaignTrial(cfg),
 			})
+		}
+	}
+	return out
+}
+
+// ProfileExecs is the per-trial budget of the profile-spanning "fuzzp"
+// cells: smaller than ScenarioExecs because the group multiplies every
+// cell by the profile count, and the question it answers — does discovery
+// cost shift when frame geometry moves? — shows up well before the full
+// budget.
+const ProfileExecs = 600
+
+// ProfileScenarios returns the profile-spanning campaign grid, group
+// "fuzzp": every fuzzing victim × {none, canary} × every layout profile,
+// named "fuzzp/<profile>/<victim>/<mitigation>". Where the "fuzz" group
+// fixes the classic platform, this grid varies it — the discovery-cost
+// analogue of the matrix's t1p group.
+func ProfileScenarios() []harness.Scenario {
+	var out []harness.Scenario
+	for _, p := range layout.Profiles() {
+		for _, v := range Victims() {
+			for _, mc := range []mitConfig{{}, {canary: true}} {
+				cfg := Config{
+					Name:     v.Name,
+					Source:   v.Source,
+					Canary:   mc.canary,
+					MaxExecs: ProfileExecs,
+					Profile:  p.Name,
+				}
+				out = append(out, harness.Scenario{
+					Name:  "fuzzp/" + p.Name + "/" + v.Name + "/" + cfg.MitLabel(),
+					Group: "fuzzp",
+					Meta: map[string]string{
+						"victim":     v.Name,
+						"mitigation": cfg.MitLabel(),
+						"profile":    p.Name,
+						"workload":   "fuzz-campaign",
+					},
+					Run: campaignTrial(cfg),
+				})
+			}
 		}
 	}
 	return out

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 
 	"softsec/internal/cpu"
 	"softsec/internal/harness"
+	"softsec/internal/layout"
 )
 
 // Sweep holds the flag values shared by every harness-driven binary.
@@ -35,6 +37,10 @@ type Sweep struct {
 	// superblocks, the default). All tiers are bit-identical — the flag
 	// exists for cross-checking results and for perf comparisons.
 	Engine string
+	// Profile selects the machine layout profile (internal/layout) the
+	// profile-sensitive scenario groups are registered with: frame
+	// geometry and segment placement. Empty means "classic".
+	Profile string
 }
 
 // Register installs the shared sweep flags on fs with uniform names and
@@ -48,6 +54,14 @@ func (s *Sweep) Register(fs *flag.FlagSet, seedDefault int64) {
 	fs.BoolVar(&s.List, "scenarios", false, "list every registered harness scenario")
 	fs.StringVar(&s.Group, "group", "", "restrict to one scenario group (see -scenarios)")
 	fs.StringVar(&s.Engine, "engine", "trace", "execution tier: step, block, or trace (bit-identical; trace is fastest)")
+	fs.StringVar(&s.Profile, "profile", "", "machine layout profile: "+strings.Join(layout.Names(), ", ")+" (default classic)")
+}
+
+// LayoutProfile resolves the -profile selection. It must be called after
+// flag parsing; an unknown profile name is an error, mirroring the
+// unknown-group and unknown-engine behavior.
+func (s *Sweep) LayoutProfile() (*layout.Profile, error) {
+	return layout.ByName(s.Profile)
 }
 
 // ApplyEngine pins the package-wide execution-tier switches to the

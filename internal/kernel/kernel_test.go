@@ -7,6 +7,7 @@ import (
 
 	"softsec/internal/asm"
 	"softsec/internal/cpu"
+	"softsec/internal/layout"
 	"softsec/internal/mem"
 )
 
@@ -139,13 +140,17 @@ func TestReadEOFReturnsZero(t *testing.T) {
 // process crashes, demonstrating undefined behaviour beyond the source
 // semantics.
 func TestSpatialOverflowSmashesFrame(t *testing.T) {
+	// The distances from buf to the saved EBP and return address are the
+	// classic profile's frame geometry, not constants of the machine.
+	f := layout.Classic().Frame(false, 16)
+	ebpOff, retOff := f.EBPOffFrom(0), f.RetOffFrom(0)
 	payload := make([]byte, 32)
 	copy(payload, "AAAAAAAAAAAAAAAA")
-	for i := 16; i < 20; i++ {
+	for i := ebpOff; i < ebpOff+4; i++ {
 		payload[i] = 0x42 // saved EBP
 	}
-	// Return address (at buf+20) := 0x00000666 (unmapped).
-	payload[20], payload[21], payload[22], payload[23] = 0x66, 0x06, 0x00, 0x00
+	// Return address (just above the saved EBP) := 0x00000666 (unmapped).
+	payload[retOff], payload[retOff+1], payload[retOff+2], payload[retOff+3] = 0x66, 0x06, 0x00, 0x00
 	in := ScriptInput{payload}
 	p := mustLoad(t, mustLink(t, echoMain(32)), Config{DEP: true, Input: &in})
 	st := p.Run()

@@ -7,12 +7,15 @@ import (
 
 	"softsec/internal/asm"
 	"softsec/internal/cpu"
+	"softsec/internal/layout"
 	"softsec/internal/mem"
 )
 
-// Nominal (non-ASLR) memory layout, matching the paper's Figure 1
-// conventions: text at 0x08048000, stack just below 0xC0000000 growing
-// down.
+// Nominal (non-ASLR) memory layout of the *classic* profile, matching the
+// paper's Figure 1 conventions: text at 0x08048000, stack just below
+// 0xC0000000 growing down. Kept as named constants for the classic-only
+// consumers (figures, examples, isolation modules); profile-aware code
+// reads Layout / layout.Profile instead.
 const (
 	NominalText  = uint32(0x08048000)
 	NominalData  = uint32(0x08100000)
@@ -24,38 +27,57 @@ const (
 
 // Layout fixes the base addresses of a process image.
 type Layout struct {
-	Text     uint32
-	Data     uint32
-	Heap     uint32
-	StackLow uint32 // lowest mapped stack address
-	StackTop uint32 // initial ESP
+	Text      uint32
+	Data      uint32
+	Heap      uint32
+	StackLow  uint32 // lowest mapped stack address
+	StackSize uint32 // stack mapping size in bytes
+	StackTop  uint32 // initial ESP
 }
 
-// NominalLayout is the layout used when ASLR is off — fully predictable,
-// which is what classic exploits rely on.
+// NominalLayout is the classic-profile layout used when ASLR is off —
+// fully predictable, which is what classic exploits rely on.
 func NominalLayout() Layout {
+	return NominalLayoutFor(nil)
+}
+
+// NominalLayoutFor is the non-ASLR layout of a machine profile (nil means
+// classic): segment bases exactly where the profile's loader contract
+// puts them.
+func NominalLayoutFor(p *layout.Profile) Layout {
+	p = layout.OrClassic(p)
 	return Layout{
-		Text:     NominalText,
-		Data:     NominalData,
-		Heap:     NominalHeap,
-		StackLow: NominalStack,
-		StackTop: NominalStack + StackSize - 0x1000,
+		Text:      p.Seg.Text,
+		Data:      p.Seg.Data,
+		Heap:      p.Seg.Heap,
+		StackLow:  p.Seg.StackLow,
+		StackSize: p.Seg.StackSize,
+		StackTop:  p.StackTop(),
 	}
 }
 
-// RandomizedLayout draws page-aligned base offsets from rng, implementing
-// Address Space Layout Randomization (Section III-C1): it makes the
-// addresses an exploit must guess — buffer locations, saved return
-// addresses, gadget addresses — unpredictable.
+// RandomizedLayout draws page-aligned base offsets from rng for the
+// classic profile, implementing Address Space Layout Randomization
+// (Section III-C1): it makes the addresses an exploit must guess — buffer
+// locations, saved return addresses, gadget addresses — unpredictable.
 func RandomizedLayout(rng *rand.Rand) Layout {
+	return RandomizedLayoutFor(rng, nil)
+}
+
+// RandomizedLayoutFor randomizes a profile's layout. Draw order is fixed
+// (text, data, heap, stack) so a given seed produces the same layout
+// regardless of call-site history; the window widths come from the
+// profile.
+func RandomizedLayoutFor(rng *rand.Rand, p *layout.Profile) Layout {
+	p = layout.OrClassic(p)
 	page := func(maxPages int32) uint32 {
 		return uint32(rng.Int31n(maxPages)) * mem.PageSize
 	}
-	l := NominalLayout()
-	l.Text += page(0x400)  // up to +4 MiB
-	l.Data += page(0x100)  // up to +1 MiB
-	l.Heap += page(0x2000) // up to +32 MiB
-	delta := page(0x800)   // up to 8 MiB down
+	l := NominalLayoutFor(p)
+	l.Text += page(p.ASLR.TextPages)
+	l.Data += page(p.ASLR.DataPages)
+	l.Heap += page(p.ASLR.HeapPages)
+	delta := page(p.ASLR.StackPages) // the stack moves down
 	l.StackLow -= delta
 	l.StackTop -= delta
 	return l
@@ -150,6 +172,11 @@ type Config struct {
 	// MaxHeapBytes. Fuzz campaigns set a tight cap so junk executions
 	// cannot churn tens of megabytes of pages per run.
 	MaxHeap uint32
+	// Profile selects the machine layout profile governing segment
+	// placement and ASLR windows. Nil means the classic Figure-1 layout.
+	// (Frame geometry is the compiler's side of the same profile:
+	// minc.Options.Layout.)
+	Profile *layout.Profile
 	// TraceSyscalls records a line per syscall in Process.SyscallLog.
 	TraceSyscalls bool
 }
@@ -282,15 +309,15 @@ func layoutFits(l Layout, ld *Linked) bool {
 // run and can seed further processes.
 func Load(ld *Linked, cfg Config) (*Process, error) {
 	cfg.Input = CloneInput(cfg.Input)
-	layout := NominalLayout()
+	layout := NominalLayoutFor(cfg.Profile)
 	if cfg.ASLR {
 		// Like a real kernel, redraw until the randomized bases do not
 		// collide. The rng is seeded from ASLRSeed, so the accepted
 		// layout — including any redraws — is deterministic per seed.
 		rng := rand.New(rand.NewSource(cfg.ASLRSeed))
-		layout = RandomizedLayout(rng)
+		layout = RandomizedLayoutFor(rng, cfg.Profile)
 		for i := 0; i < 64 && !layoutFits(layout, ld); i++ {
-			layout = RandomizedLayout(rng)
+			layout = RandomizedLayoutFor(rng, cfg.Profile)
 		}
 	}
 	m := mem.New()
@@ -308,7 +335,7 @@ func Load(ld *Linked, cfg Config) (*Process, error) {
 	if err := m.Map(layout.Data, dataSize, dataPerm); err != nil {
 		return nil, fmt.Errorf("kernel: map data: %w", err)
 	}
-	if err := m.Map(layout.StackLow, StackSize, dataPerm); err != nil {
+	if err := m.Map(layout.StackLow, layout.StackSize, dataPerm); err != nil {
 		return nil, fmt.Errorf("kernel: map stack: %w", err)
 	}
 	// Loader writes go through the raw paths, which bump the memory's code

@@ -154,7 +154,7 @@ func (p *Process) checkedLibcGuard(buf, n uint32) error {
 	// Stack addresses must lie in a *live* registration: a buffer whose
 	// frame has been deallocated (the paper's temporal vulnerability) is
 	// gone from the registry and gets caught here.
-	if buf >= p.Layout.StackLow && buf < p.Layout.StackLow+StackSize {
+	if buf >= p.Layout.StackLow && buf < p.Layout.StackLow+p.Layout.StackSize {
 		return &BoundsViolation{Addr: buf, Size: n}
 	}
 	return nil

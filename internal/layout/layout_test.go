@@ -1,0 +1,117 @@
+package layout
+
+import "testing"
+
+// TestClassicFrameMatchesFigure1 pins the classic profile's frame
+// arithmetic to the Figure-1 geometry every other golden in the repo
+// assumes: first 16-byte local at EBP-16 (EBP-20 under a canary at
+// EBP-4), later locals stacked below in declaration order.
+func TestClassicFrameMatchesFigure1(t *testing.T) {
+	p := Classic()
+
+	f := p.Frame(false, 16)
+	if f.Offs[0] != -16 || f.Size != 16 || f.HasCanary {
+		t.Fatalf("classic Frame(false,16) = %+v", f)
+	}
+	if got := f.RetOffFrom(0); got != 20 {
+		t.Fatalf("RetOffFrom = %d, want 20", got)
+	}
+
+	f = p.Frame(true, 16)
+	if f.Offs[0] != -20 || f.CanaryOff != -4 || !f.HasCanary || f.Size != 20 {
+		t.Fatalf("classic Frame(true,16) = %+v", f)
+	}
+	if got := f.RetOffFrom(0); got != 24 {
+		t.Fatalf("RetOffFrom = %d, want 24", got)
+	}
+	off, crossed := f.CanaryOffFrom(0)
+	if off != 16 || !crossed {
+		t.Fatalf("CanaryOffFrom = %d,%v, want 16,true", off, crossed)
+	}
+
+	// {is_admin, name[16]}: the data-only victim's frame.
+	f = p.Frame(false, 4, 16)
+	if f.Offs[0] != -4 || f.Offs[1] != -20 {
+		t.Fatalf("classic Frame(false,4,16) = %+v", f)
+	}
+
+	// Sub-word locals are aligned up to 4.
+	f = p.Frame(false, 1, 2)
+	if f.Offs[0] != -4 || f.Offs[1] != -8 || f.Size != 8 {
+		t.Fatalf("classic Frame(false,1,2) = %+v", f)
+	}
+}
+
+// TestCanaryBelowVLAFrame pins the CVE-2023-4039 shape: the canary sits
+// *below* the locals, so an overflow out of a buffer reaches the return
+// address without ever crossing it.
+func TestCanaryBelowVLAFrame(t *testing.T) {
+	p := CanaryBelowVLA()
+	f := p.Frame(true, 16)
+	if f.Offs[0] != -16 {
+		t.Fatalf("buf off = %d, want -16 (canary must not sit above it)", f.Offs[0])
+	}
+	if f.CanaryOff != -20 || f.Size != 20 {
+		t.Fatalf("frame = %+v, want canary at -20", f)
+	}
+	if got := f.RetOffFrom(0); got != 20 {
+		t.Fatalf("RetOffFrom = %d, want 20: same smash distance as no canary", got)
+	}
+	if _, crossed := f.CanaryOffFrom(0); crossed {
+		t.Fatal("canary must not be crossed by an overflow out of buf")
+	}
+	// Segments are classic: the profile isolates the placement variable.
+	if p.Seg != Classic().Seg {
+		t.Fatalf("segments differ from classic: %+v", p.Seg)
+	}
+}
+
+// TestInvertedLocalsFrame pins reverse allocation order: the *last*
+// declared local sits closest to EBP.
+func TestInvertedLocalsFrame(t *testing.T) {
+	p := InvertedLocals()
+	// {is_admin, name[16]} reversed: name right under the canary-less
+	// top, is_admin below it — the flag is out of an overflow's path.
+	f := p.Frame(false, 4, 16)
+	if f.Offs[1] != -16 || f.Offs[0] != -20 {
+		t.Fatalf("inverted Frame(false,4,16) = %+v", f)
+	}
+	// Single-local frames are placement-invariant.
+	if got := p.Frame(true, 16).RetOffFrom(0); got != 24 {
+		t.Fatalf("RetOffFrom single local = %d, want 24", got)
+	}
+	if p.Seg == Classic().Seg {
+		t.Fatal("inverted-locals should relocate segments away from classic")
+	}
+}
+
+func TestStackTop(t *testing.T) {
+	p := Classic()
+	if got := p.StackTop(); got != 0xBFFF0000+0x10000-0x1000 {
+		t.Fatalf("classic StackTop = %#x", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "classic", "canary-below-vla", "inverted-locals"} {
+		p, err := ByName(name)
+		if err != nil || p == nil {
+			t.Fatalf("ByName(%q) = %v, %v", name, p, err)
+		}
+		if name != "" && p.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("martian"); err == nil {
+		t.Fatal("ByName(martian) should fail")
+	}
+	names := Names()
+	if len(names) != len(Profiles()) {
+		t.Fatalf("Names()=%v vs %d profiles", names, len(Profiles()))
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Fatalf("Names() entry %q does not resolve: %v", n, err)
+		}
+	}
+}
