@@ -900,6 +900,41 @@ func renderBlockHist(st *cpu.BlockStats) string {
 	return sb.String()
 }
 
+// BenchmarkTelemetryOverhead pairs the tight loop with and without
+// telemetry hooks: "off" is the shipping configuration and must stay
+// within noise (<2%) of the no-hook engine numbers — a nil hook costs
+// one untaken branch per site; "counters" adds the per-step stat
+// structs; "profiled" adds PC sampling, which also forces the
+// single-step reference engine (so compare it against
+// BenchmarkDecodeCacheHit, not the block tier).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, setup func(c *cpu.CPU)) {
+		c := benchLoopCPU(b)
+		setup(c)
+		s := c.SaveArch()
+		c.Run(4096) // warm every cache and hotness gate
+		c.RestoreArch(s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if st := c.Run(uint64(b.N)); st != cpu.StepLimit {
+			b.Fatalf("state %v fault %v", st, c.Fault())
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "MIPS")
+	}
+	b.Run("off", func(b *testing.B) { run(b, func(*cpu.CPU) {}) })
+	b.Run("counters", func(b *testing.B) {
+		run(b, func(c *cpu.CPU) {
+			c.DecodeStats = &cpu.DecodeStats{}
+			c.FaultStats = &cpu.FaultStats{}
+			c.BlockStats = &cpu.BlockStats{}
+			c.TraceStats = &cpu.TraceStats{}
+		})
+	})
+	b.Run("profiled", func(b *testing.B) {
+		run(b, func(c *cpu.CPU) { c.Prof = cpu.NewProfiler(64) })
+	})
+}
+
 // BenchmarkDecodeCacheMiss forces a full cache invalidation before every
 // step (a PokeWord bumps the memory's code generation), so each fetch
 // pays the byte-fetch + decode slow path.

@@ -9,11 +9,14 @@
 // runs that many independent trials across a -jobs wide worker pool,
 // re-randomizing ASLR layouts and canary values per trial, and the
 // output is a success-rate table (or a JSON report with -json). Results
-// are independent of -jobs. The sweep flags are shared with cmd/secsim
-// through internal/harness/cli.
+// are independent of -jobs. The sweep flags — including the telemetry
+// flags -metrics/-guestprof/-evtrace/-enginestats — are shared with
+// cmd/secsim through internal/harness/cli; giving any telemetry flag
+// runs the default group as a sweep so there is something to collect.
 //
 //	attacklab -trials 256 -jobs 8
 //	attacklab -group mc-aslr -trials 1000 -json
+//	attacklab -group cfi -trials 8 -metrics cfi.json -enginestats
 //
 // The fuzz group runs coverage-guided fuzzing campaigns (internal/fuzz)
 // instead of replaying hand-written exploits: each trial is a complete
@@ -79,7 +82,9 @@ func main() {
 	}
 
 	// Sweep mode: run registered scenarios through the trial engine.
-	if sweep.Trials > 1 || sweep.JSON || sweep.Group != "" {
+	// Telemetry flags imply it — collection is per-trial, so the legacy
+	// whole-matrix mode below has nothing to attach instruments to.
+	if sweep.Trials > 1 || sweep.JSON || sweep.Group != "" || sweep.TelemetrySpec() != nil {
 		if sweep.Group == "" {
 			sweep.Group = "t1"
 			if *machine {

@@ -11,6 +11,15 @@
 //	benchsnap -validate -f /tmp/s.json -strict=false
 //	benchsnap -profiles              # per-layout-profile fuzz throughput
 //	benchsnap -profiles -validate    # check BENCH_profiles.json
+//	benchsnap -metrics BENCH_metrics.json   # also freeze the registry
+//
+// -metrics additionally freezes the measurement run's telemetry
+// registry (internal/telemetry) as a metrics file: the deterministic
+// engine counters of the instrumented cells plus every headline timing
+// under the explicitly non-deterministic "wall" section. The file
+// carries the standard "telemetry-metrics" tool tag, so -validate
+// dispatches it to telemetry.ValidateMetrics like any other snapshot
+// kind.
 //
 // -profiles measures the echo-victim fuzz campaign once per machine
 // layout profile (internal/layout) and writes BENCH_profiles.json — the
@@ -44,6 +53,7 @@ import (
 	"softsec/internal/layout"
 	"softsec/internal/mem"
 	"softsec/internal/minc"
+	"softsec/internal/telemetry"
 )
 
 const schemaVersion = 1
@@ -107,6 +117,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced work counts (smoke runs)")
 		strict   = flag.Bool("strict", true, "with -validate: enforce the absolute acceptance floors")
 		profiles = flag.Bool("profiles", false, "measure fuzz throughput per machine layout profile instead of the trace-tier cells")
+		metrics  = flag.String("metrics", "", "also freeze the measurement's telemetry registry as a metrics file")
 	)
 	flag.Parse()
 	def := "BENCH_trace.json"
@@ -131,10 +142,11 @@ func main() {
 
 	var snap any
 	var err error
+	reg := telemetry.NewRegistry()
 	if *profiles {
-		snap, err = measureProfiles(*quick)
+		snap, err = measureProfiles(*quick, reg)
 	} else {
-		snap, err = measure(*quick)
+		snap, err = measure(*quick, reg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
@@ -150,6 +162,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *metrics != "" {
+		mb, err := reg.MetricsJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metrics, mb, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metrics)
+	}
 	switch s := snap.(type) {
 	case *Snapshot:
 		for k, v := range s.NsPerInstr {
@@ -170,7 +194,7 @@ func main() {
 
 // --- measurement --------------------------------------------------------
 
-func measure(quick bool) (*Snapshot, error) {
+func measure(quick bool, reg *telemetry.Registry) (*Snapshot, error) {
 	s := &Snapshot{Schema: schemaVersion, Tool: "benchsnap", Quick: quick}
 	s.Counts.ChainInstrs = 8 << 20
 	s.Counts.FuzzExecs = 1 << 20
@@ -203,6 +227,7 @@ func measure(quick bool) (*Snapshot, error) {
 			return nil, fmt.Errorf("%s: %w", cell.name, err)
 		}
 		s.NsPerInstr[cell.name] = ns
+		reg.SetWall("ns_per_instr."+cell.name, ns)
 	}
 	if trace.Formed == 0 {
 		return nil, fmt.Errorf("trace_chain8: no trace formed (measured the block tier)")
@@ -219,6 +244,13 @@ func measure(quick bool) (*Snapshot, error) {
 			s.Trace.LenHist[fmt.Sprintf("%02d", l)] = n
 		}
 	}
+	// Freeze the instrumented cell's engine counters into the registry —
+	// the deterministic side of the snapshot, same namespace the harness
+	// -metrics flag writes.
+	tsnap := telemetry.NewSnap()
+	tsnap.Scenario = "benchsnap/trace_chain8"
+	trace.Publish(tsnap)
+	reg.AddSnap(tsnap)
 
 	// Fuzz campaign throughput under the production (trace) tier.
 	cpu.UseBlockEngine, cpu.UseTraceEngine = true, true
@@ -237,6 +269,7 @@ func measure(quick bool) (*Snapshot, error) {
 			return nil, fmt.Errorf("%s: %w", cell.name, err)
 		}
 		s.ExecsPerSec[cell.name] = eps
+		reg.SetWall("execs_per_sec."+cell.name, eps)
 	}
 
 	ns, err := timeRestore(s.Counts.RestoreCycles)
@@ -244,12 +277,13 @@ func measure(quick bool) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot_restore: %w", err)
 	}
 	s.NsPerOp = map[string]float64{"snapshot_restore": ns}
+	reg.SetWall("ns_per_op.snapshot_restore", ns)
 	return s, nil
 }
 
 // measureProfiles times the echo-victim fuzz campaign (production trace
 // tier, DEP on) once per layout profile with identical budgets.
-func measureProfiles(quick bool) (*ProfilesSnapshot, error) {
+func measureProfiles(quick bool, reg *telemetry.Registry) (*ProfilesSnapshot, error) {
 	s := &ProfilesSnapshot{Schema: schemaVersion, Tool: "benchsnap-profiles", Quick: quick}
 	s.Counts.FuzzExecs = 1 << 18
 	if quick {
@@ -268,6 +302,7 @@ func measureProfiles(quick bool) (*ProfilesSnapshot, error) {
 			return nil, fmt.Errorf("profile %s: %w", name, err)
 		}
 		s.ExecsPerSec[name] = eps
+		reg.SetWall("execs_per_sec."+name, eps)
 	}
 	return s, nil
 }
@@ -399,6 +434,12 @@ func validateFile(path string, strict bool) error {
 	}
 	if peek.Tool == "benchsnap-profiles" {
 		return validateProfiles(path, b, strict)
+	}
+	if peek.Tool == telemetry.MetricsTool {
+		if err := telemetry.ValidateMetrics(b); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return nil
 	}
 	var s Snapshot
 	dec := json.NewDecoder(strings.NewReader(string(b)))

@@ -17,12 +17,18 @@
 // selects the machine layout profile (internal/layout) the victim
 // platform runs — classic, canary-below-vla, or inverted-locals — and
 // -engine selects the
-// execution tier (step, block, or trace — bit-identical, trace fastest),
-// and -enginestats prints the block/trace dispatch counters and the
-// superblock length histogram after a single-trial run:
+// execution tier (step, block, or trace — bit-identical, trace fastest).
+// The shared telemetry flags collect per-trial metrics: -enginestats
+// prints the block/trace dispatch counters and the superblock length
+// histogram, -metrics writes the merged counter registry as JSON,
+// -guestprof writes a deterministic folded-stacks guest profile (and
+// prints the hot-cost table), and -evtrace writes engine events as
+// Chrome trace_event JSON. All four work on single trials and sweeps:
 //
 //	secsim -attack rop-chain -dep -engine step       # reference tier
 //	secsim -attack rop-chain -dep -enginestats       # trace-tier counters
+//	secsim -attack stack-smash-inject -dep -trials 8 -jobs 2 \
+//	    -metrics m.json -guestprof p.txt -evtrace t.json
 //
 //	secsim -attack stack-smash-inject -aslr -trials 256 -jobs 8
 //	secsim -attack rop-chain -canary -dep -trials 1000 -json
@@ -42,10 +48,9 @@ import (
 	"os"
 
 	"softsec/internal/core"
-	"softsec/internal/cpu"
 	"softsec/internal/harness"
 	"softsec/internal/harness/cli"
-	"softsec/internal/kernel"
+	"softsec/internal/telemetry"
 )
 
 func main() {
@@ -59,7 +64,6 @@ func main() {
 		shadow  = flag.Bool("shadowstack", false, "hardware shadow stack (exact backward-edge CFI)")
 		cfiLvl  = flag.String("cfi", "", "control-flow integrity precision: coarse or fine (label-table CFI over the recovered CFG)")
 		verbose = flag.Bool("v", false, "print victim source and output")
-		estats  = flag.Bool("enginestats", false, "print block/trace engine statistics after a single-trial run")
 		sweep   cli.Sweep
 	)
 	sweep.Register(flag.CommandLine, 42)
@@ -137,23 +141,8 @@ func main() {
 		fmt.Println("victim program:")
 		fmt.Println(spec.Victim)
 	}
-	var bst cpu.BlockStats
-	var tst cpu.TraceStats
-	if *estats {
-		// Chain onto any defense-installed PostLoad so both run.
-		prev := s.PostLoad
-		s.PostLoad = func(p *kernel.Process) error {
-			if prev != nil {
-				if err := prev(p); err != nil {
-					return err
-				}
-			}
-			p.CPU.BlockStats = &bst
-			p.CPU.TraceStats = &tst
-			return nil
-		}
-	}
-	res, err := core.Run(s, m)
+	tspec := sweep.TelemetrySpec()
+	res, snap, err := core.RunCollected(s, m, tspec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secsim:", err)
 		os.Exit(1)
@@ -168,30 +157,19 @@ func main() {
 	if *verbose {
 		fmt.Printf("output:     %q\n", res.Output)
 	}
-	if *estats {
-		printEngineStats(&bst, &tst)
+	if tspec != nil {
+		// One-trial registry: same artifacts as a sweep, one shard.
+		reg := telemetry.NewRegistry()
+		snap.Scenario = "secsim/" + spec.Name
+		reg.AddSnap(snap)
+		if err := sweep.WriteOutputs(reg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "secsim:", err)
+			os.Exit(1)
+		}
 	}
 	if res.Outcome == core.Compromised {
 		os.Exit(1)
 	}
-}
-
-// printEngineStats renders the block- and trace-tier counters of a
-// single-trial run, including the superblock length histogram.
-func printEngineStats(bst *cpu.BlockStats, tst *cpu.TraceStats) {
-	fmt.Printf("block stats: dispatches=%d hits=%d builds=%d stepfalls=%d\n",
-		bst.Dispatches, bst.Hits, bst.Builds, bst.StepFalls)
-	fmt.Printf("trace stats: formed=%d aborts=%d dispatches=%d completions=%d loopbacks=%d\n",
-		tst.Formed, tst.Aborts, tst.Dispatches, tst.Completions, tst.LoopBacks)
-	fmt.Printf("trace exits: side=%d stale=%d (side-exit rate %.3f)\n",
-		tst.SideExits, tst.StaleExits, tst.SideExitRate())
-	fmt.Printf("trace len:   avg=%.2f hist=", tst.AvgLen())
-	for l, n := range tst.LenHist {
-		if n != 0 {
-			fmt.Printf(" %d:%d", l, n)
-		}
-	}
-	fmt.Println()
 }
 
 // runScenarios drives the registered-scenario modes: -scenarios listing,

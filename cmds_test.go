@@ -235,6 +235,66 @@ main:
 			}
 		}
 	})
+	t.Run("attacklab enginestats over a sweep", func(t *testing.T) {
+		// Telemetry flags imply sweep mode, so attacklab now renders the
+		// same registry-backed counters secsim does.
+		out := runTool(t, bin, "attacklab", 0, "-group", "cfi", "-trials", "1", "-enginestats")
+		for _, want := range []string{"cfi/jop-entry-reuse/coarse", "block stats:", "trace stats:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("attacklab enginestats missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("secsim telemetry artifacts", func(t *testing.T) {
+		mfile := filepath.Join(work, "metrics.json")
+		pfile := filepath.Join(work, "guestprof.txt")
+		tfile := filepath.Join(work, "evtrace.json")
+		out := runTool(t, bin, "secsim", 0, "-scenario", "fuzz/echo/none",
+			"-trials", "2", "-jobs", "2",
+			"-metrics", mfile, "-guestprof", pfile, "-evtrace", tfile)
+		if !strings.Contains(out, "guest profile:") {
+			t.Fatalf("hot-cost table missing:\n%s", out)
+		}
+		// The metrics file carries the telemetry-metrics tool tag, so
+		// benchsnap's validator dispatches it.
+		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", mfile)
+		if !strings.Contains(out, "ok") {
+			t.Fatalf("metrics validation:\n%s", out)
+		}
+		prof, err := os.ReadFile(pfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(prof), "main") {
+			t.Fatalf("folded profile has no main frames:\n%s", prof)
+		}
+		ev, err := os.ReadFile(tfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"traceEvents", "fuzz.exec", "process_name"} {
+			if !strings.Contains(string(ev), want) {
+				t.Fatalf("event trace missing %q:\n%.400s", want, ev)
+			}
+		}
+	})
+	t.Run("secsim single-trial metrics", func(t *testing.T) {
+		mfile := filepath.Join(work, "single.json")
+		out := runTool(t, bin, "secsim", 0, "-attack", "return-to-libc",
+			"-dep", "-canary", "-metrics", mfile)
+		if !strings.Contains(out, "detected") {
+			t.Fatalf("secsim output:\n%s", out)
+		}
+		data, err := os.ReadFile(mfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{`"tool": "telemetry-metrics"`, "cpu.steps.retired", "cpu.fault.fail-fast"} {
+			if !strings.Contains(string(data), want) {
+				t.Fatalf("metrics missing %q:\n%s", want, data)
+			}
+		}
+	})
 
 	t.Run("benchsnap validates committed snapshot", func(t *testing.T) {
 		// Strict: -validate only re-reads recorded values, so the
@@ -271,6 +331,28 @@ main:
 			}
 		}
 		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", snap, "-strict=false")
+		if !strings.Contains(out, "ok") {
+			t.Fatalf("benchsnap validate output:\n%s", out)
+		}
+	})
+	t.Run("benchsnap freezes the registry", func(t *testing.T) {
+		snap := filepath.Join(work, "freeze.json")
+		mfile := filepath.Join(work, "freeze_metrics.json")
+		out := runTool(t, bin, "benchsnap", 0, "-quick", "-o", snap, "-metrics", mfile)
+		if !strings.Contains(out, "wrote "+mfile) {
+			t.Fatalf("benchsnap output:\n%s", out)
+		}
+		data, err := os.ReadFile(mfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Engine counters in the deterministic section, timings in wall.
+		for _, want := range []string{"cpu.trace.formed", `"wall"`, "ns_per_instr.trace_chain8"} {
+			if !strings.Contains(string(data), want) {
+				t.Fatalf("frozen registry missing %q:\n%s", want, data)
+			}
+		}
+		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", mfile)
 		if !strings.Contains(out, "ok") {
 			t.Fatalf("benchsnap validate output:\n%s", out)
 		}

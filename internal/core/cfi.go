@@ -6,6 +6,7 @@ import (
 	"softsec/internal/cfi"
 	"softsec/internal/harness"
 	"softsec/internal/kernel"
+	"softsec/internal/telemetry"
 )
 
 // The CFI grid: the paper's code-reuse chapter closes with control-flow
@@ -126,7 +127,7 @@ func CFIScenarios() []harness.Scenario {
 					"mitigation": "cfi/" + lv.Name,
 				},
 				Run: func(t harness.Trial) harness.TrialResult {
-					return runCFITrial(a, lv)
+					return runCFITrial(a, lv, t.Telemetry)
 				},
 			})
 		}
@@ -137,10 +138,10 @@ func CFIScenarios() []harness.Scenario {
 // runCFITrial runs one (attack, CFI level) cell. The deployment is
 // deterministic (no ASLR, no canary), so trials repeat; trial counts
 // exist to pin stability, not to sample randomness.
-func runCFITrial(a AttackSpec, lv CFILevel) harness.TrialResult {
+func runCFITrial(a AttackSpec, lv CFILevel, spec *telemetry.Spec) harness.TrialResult {
 	m := Mitigations{ShadowStack: lv.ShadowStack}
 	if lv.Enabled {
 		m.CFI = lv.Precision.String()
 	}
-	return runTrialCell(a, m)
+	return runTrialCell(a, m, spec)
 }

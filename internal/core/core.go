@@ -19,6 +19,7 @@ import (
 	"softsec/internal/kernel"
 	"softsec/internal/layout"
 	"softsec/internal/minc"
+	"softsec/internal/telemetry"
 )
 
 // Outcome classifies one scenario run.
@@ -186,24 +187,35 @@ func BuildVictim(s Scenario, m Mitigations) (*kernel.Process, error) {
 
 // Run executes the scenario under the mitigations and classifies it.
 func Run(s Scenario, m Mitigations) (Result, error) {
+	r, _, err := RunCollected(s, m, nil)
+	return r, err
+}
+
+// RunCollected is Run with telemetry: when spec is non-nil, fresh
+// instruments are attached to the victim after load (so per-trial
+// metrics never bleed across trials) and the collected snapshot is
+// returned alongside the result. A nil spec behaves exactly like Run
+// and returns a nil snapshot.
+func RunCollected(s Scenario, m Mitigations, spec *telemetry.Spec) (Result, *telemetry.Snap, error) {
 	p, err := BuildVictim(s, m)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	if m.CFI != "" {
 		prec, ok := CFIPrecisionByName(m.CFI)
 		if !ok {
-			return Result{}, fmt.Errorf("core: unknown CFI precision %q (want coarse or fine)", m.CFI)
+			return Result{}, nil, fmt.Errorf("core: unknown CFI precision %q (want coarse or fine)", m.CFI)
 		}
 		if err := InstallCFI(p, prec); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 	}
 	if s.PostLoad != nil {
 		if err := s.PostLoad(p); err != nil {
-			return Result{}, fmt.Errorf("core: post-load: %w", err)
+			return Result{}, nil, fmt.Errorf("core: post-load: %w", err)
 		}
 	}
+	ins := kernel.AttachInstruments(p, spec)
 	st := p.Run()
 	r := Result{
 		State:  st,
@@ -212,7 +224,11 @@ func Run(s Scenario, m Mitigations) (Result, error) {
 		Proc:   p,
 	}
 	r.Outcome = Classify(p, st, s.Goal)
-	return r, nil
+	var snap *telemetry.Snap
+	if ins != nil {
+		snap = ins.Snap(p, ins.SinceAttach(p))
+	}
+	return r, snap, nil
 }
 
 // Classify maps a final process state to an Outcome. The goal predicate

@@ -58,7 +58,7 @@ func TrialScenario(a AttackSpec, cfg Mitigations, perTrialSeeds bool) harness.Sc
 					m.CanarySeed = nonzeroSeed(t.Seed ^ canaryMix)
 				}
 			}
-			return runTrialCell(a, m)
+			return runTrialCell(a, m, t.Telemetry)
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"softsec/internal/fuzz"
 	"softsec/internal/harness"
 	"softsec/internal/layout"
+	"softsec/internal/telemetry"
 )
 
 // RegisterScenarios populates a harness registry with every experiment
@@ -151,7 +152,7 @@ func profileTrialScenario(a AttackSpec, cfg Mitigations, profile string) harness
 			if m.Canary && m.CanarySeed != 0 {
 				m.CanarySeed = nonzeroSeed(t.Seed ^ canaryMix)
 			}
-			return runTrialCell(a, m)
+			return runTrialCell(a, m, t.Telemetry)
 		},
 	}
 }
@@ -166,7 +167,7 @@ func aslrSweep(a AttackSpec, profile string) harness.Scenario {
 		Meta:  map[string]string{"attack": a.Name, "mitigation": "aslr"},
 		Run: func(t harness.Trial) harness.TrialResult {
 			m := Mitigations{ASLR: true, ASLRSeed: t.Seed, Profile: profile}
-			return runTrialCell(a, m)
+			return runTrialCell(a, m, t.Telemetry)
 		},
 	}
 }
@@ -180,25 +181,26 @@ func canarySweep(a AttackSpec, profile string) harness.Scenario {
 		Meta:  map[string]string{"attack": a.Name, "mitigation": "canary+dep"},
 		Run: func(t harness.Trial) harness.TrialResult {
 			m := Mitigations{Canary: true, CanarySeed: nonzeroSeed(t.Seed ^ canaryMix), DEP: true, Profile: profile}
-			return runTrialCell(a, m)
+			return runTrialCell(a, m, t.Telemetry)
 		},
 	}
 }
 
 // runTrialCell builds and runs one scenario instance and converts the
-// outcome into harness terms.
-func runTrialCell(a AttackSpec, m Mitigations) harness.TrialResult {
+// outcome into harness terms, collecting telemetry when spec asks.
+func runTrialCell(a AttackSpec, m Mitigations, spec *telemetry.Spec) harness.TrialResult {
 	s, err := a.Scenario(m)
 	if err != nil {
 		return harness.TrialResult{Err: err}
 	}
-	res, err := Run(s, m)
+	res, snap, err := RunCollected(s, m, spec)
 	if err != nil {
 		return harness.TrialResult{Err: err}
 	}
 	return harness.TrialResult{
-		Outcome: res.Outcome.String(),
-		Code:    int(res.Outcome),
-		Success: res.Outcome == Compromised,
+		Outcome:   res.Outcome.String(),
+		Code:      int(res.Outcome),
+		Success:   res.Outcome == Compromised,
+		Telemetry: snap,
 	}
 }

@@ -160,6 +160,8 @@ type BlockStats struct {
 	Hits       uint64 // block cache hits
 	Dispatches uint64 // blocks entered (hit or fresh build)
 	StepFalls  uint64 // Run iterations falling back to the stepping engine
+	Stales     uint64 // built blocks demoted at dispatch (invalidated)
+	SelfStales uint64 // blocks invalidated by their own stores (SMC)
 	LenHist    [MaxBlockLen + 1]uint64
 	StopHist   [numStopReasons]uint64
 }
@@ -309,6 +311,12 @@ func (c *CPU) blockFor(pc uint32) *bcEntry {
 			e.blk.ins = e.blk.ins[:0]
 			e.heat = blockHeat - 1
 			e.exe = 0
+			if c.BlockStats != nil {
+				c.BlockStats.Stales++
+			}
+			if c.Events != nil {
+				c.Events.Emit("block.stale", pc, 0)
+			}
 			return nil
 		}
 		if e.heat++; e.heat < blockHeat {
@@ -362,6 +370,9 @@ func (c *CPU) fillBlockEntry(e *bcEntry, pc uint32) bool {
 		st.Builds++
 		st.LenHist[len(e.blk.ins)]++
 		st.StopHist[e.blk.Stop]++
+	}
+	if c.Events != nil {
+		c.Events.Emit("block.build", pc, uint64(len(e.blk.ins)))
 	}
 	return true
 }
@@ -435,6 +446,12 @@ func (c *CPU) runBlock(e *bcEntry, n int) {
 			// to rebuild (see blockHeat).
 			e.blk.ins = e.blk.ins[:0]
 			e.heat = 0
+			if c.BlockStats != nil {
+				c.BlockStats.SelfStales++
+			}
+			if c.Events != nil {
+				c.Events.Emit("block.selfstale", b.Start, uint64(i))
+			}
 			return
 		}
 	}

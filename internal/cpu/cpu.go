@@ -17,6 +17,7 @@ import (
 
 	"softsec/internal/isa"
 	"softsec/internal/mem"
+	"softsec/internal/telemetry"
 )
 
 // Flags is the SM32 condition-code register.
@@ -262,6 +263,26 @@ type CPU struct {
 	// costs the dispatch path nothing.
 	TraceStats *TraceStats
 
+	// DecodeStats, when non-nil, counts decoded-instruction-cache hits
+	// and misses (see telemetry.go). Nil costs fetch one untaken branch.
+	DecodeStats *DecodeStats
+
+	// FaultStats, when non-nil, counts faults by kind. The fault path is
+	// already cold, so this is free when nil and cheap when not.
+	FaultStats *FaultStats
+
+	// Events, when non-nil, receives ring-buffered engine events (block
+	// builds and demotions, trace formation and exits, faults). Emission
+	// sites are off the per-instruction path: formation, invalidation,
+	// and fault handling only.
+	Events *telemetry.Ring
+
+	// Prof, when non-nil, samples the sim PC on a deterministic
+	// instruction-count clock (see profiler.go). Like Tracer, a non-nil
+	// profiler pins Run to the stepping engine so profiles are identical
+	// no matter which engine tier was requested.
+	Prof *Profiler
+
 	// dcache is the decoded-instruction cache, allocated on the first
 	// warm-up trip (a refetched address — see warmTags).
 	dcache []dcEntry
@@ -393,6 +414,12 @@ func (c *CPU) Resume() {
 func (c *CPU) setFault(kind FaultKind, ip uint32, err error) {
 	c.state = Faulted
 	c.fault = &Fault{Kind: kind, IP: ip, Err: err}
+	if c.FaultStats != nil {
+		c.FaultStats.Kinds[kind]++
+	}
+	if c.Events != nil {
+		c.Events.Emit(faultEventNames[kind], ip, 0)
+	}
 }
 
 func (c *CPU) readMem(addr uint32, size int) (uint32, bool) {
@@ -477,6 +504,9 @@ func (c *CPU) pop() (uint32, bool) {
 func (c *CPU) fetch() (isa.Instr, bool) {
 	if c.dcache == nil {
 		if !c.warm() {
+			if c.DecodeStats != nil {
+				c.DecodeStats.Misses++
+			}
 			return c.fetchSlow()
 		}
 		c.dcache = make([]dcEntry, dcacheSize)
@@ -485,7 +515,13 @@ func (c *CPU) fetch() (isa.Instr, bool) {
 	e := &c.dcache[c.IP&(dcacheSize-1)]
 	if e.tag == c.IP && e.sgen == sgen && e.in.Size != 0 &&
 		*e.w0 == e.g0 && (e.w1 == nil || *e.w1 == e.g1) {
+		if c.DecodeStats != nil {
+			c.DecodeStats.Hits++
+		}
 		return e.in, true
+	}
+	if c.DecodeStats != nil {
+		c.DecodeStats.Misses++
 	}
 	in, ok := c.fetchSlow()
 	if ok {
@@ -651,10 +687,19 @@ func (c *CPU) Step() bool {
 	if c.Tracer != nil {
 		c.Tracer(c.IP, in)
 	}
+	if c.Prof != nil {
+		c.Prof.observe(c.IP)
+	}
 
 	ip := c.IP
 	next := ip + uint32(in.Size)
-	switch c.exec1(in, ip, next) {
+	k := c.exec1(in, ip, next)
+	if c.Prof != nil && c.state == Running {
+		// After a successful branch c.IP is the transfer target, which
+		// for CALL/CALLR is exactly the callee entry track wants.
+		c.Prof.track(in.Op, c.IP)
+	}
+	switch k {
 	case execSeq:
 		c.Steps++
 		return c.transfer(ip, next)
@@ -931,8 +976,9 @@ func (c *CPU) cond(op isa.Op) bool {
 
 // Run executes until the CPU leaves the Running state or maxSteps
 // instructions retire, and returns the final state. Whenever the machine
-// configuration allows it — the block engine is enabled, no tracer is
-// observing, no breakpoints are armed — execution proceeds basic-block-
+// configuration allows it — the block engine is enabled, no tracer or
+// profiler is observing, no breakpoints are armed — execution proceeds
+// basic-block-
 // at-a-time through the block cache (block.go), and with UseTraceEngine
 // also set, superblock-at-a-time through the trace cache (trace.go);
 // otherwise, and whenever a Policy that cannot summarize blocks is
@@ -952,7 +998,7 @@ func (c *CPU) Run(maxSteps uint64) State {
 			c.state = StepLimit
 			break
 		}
-		if UseBlockEngine && c.Tracer == nil && len(c.breaks) == 0 {
+		if UseBlockEngine && c.Tracer == nil && c.Prof == nil && len(c.breaks) == 0 {
 			if UseTraceEngine {
 				c.traceStep(budget)
 			} else {

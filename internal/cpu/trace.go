@@ -232,11 +232,28 @@ func (c *CPU) killTrace(t *trace) {
 	if e.tr == t {
 		e.tr = nil
 	}
+	if c.Events != nil {
+		c.Events.Emit("trace.kill", t.start, 0)
+	}
 }
 
 func (c *CPU) statAbort() {
 	if st := c.TraceStats; st != nil {
 		st.Aborts++
+	}
+	if c.Events != nil {
+		c.Events.Emit("trace.abort", c.rec.start, 0)
+	}
+}
+
+// statSideExit records one side exit — a trace left mid-chain because a
+// branch went the unrecorded way — at the exit pc.
+func (c *CPU) statSideExit(pc uint32) {
+	if st := c.TraceStats; st != nil {
+		st.SideExits++
+	}
+	if c.Events != nil {
+		c.Events.Emit("trace.sideexit", pc, 0)
 	}
 }
 
@@ -447,6 +464,9 @@ func (c *CPU) finishRec() {
 		st.LenHist[len(t.members)]++
 		st.MemberInstrs += uint64(t.nins)
 	}
+	if c.Events != nil {
+		c.Events.Emit("trace.form", t.start, uint64(len(t.members)))
+	}
 }
 
 // runTrace executes t: members back to back, guarded, with one batched
@@ -483,9 +503,7 @@ func (c *CPU) runTrace(t *trace, budget uint64) {
 				b := &m.blk
 				if m.guarded && c.IP != b.Start {
 					c.noDataChk = false
-					if st != nil {
-						st.SideExits++
-					}
+					c.statSideExit(c.IP)
 					return
 				}
 				// Entry pc is statically known here: guarded members just
@@ -597,9 +615,7 @@ func (c *CPU) runTrace(t *trace, budget uint64) {
 			for mi := range t.members {
 				m := &t.members[mi]
 				if mi > 0 && c.IP != m.blk.Start {
-					if st != nil {
-						st.SideExits++
-					}
+					c.statSideExit(c.IP)
 					return
 				}
 				if !c.runMember(t, m, budget) {
@@ -626,9 +642,7 @@ func (c *CPU) runTrace(t *trace, budget uint64) {
 		for mi := range t.members {
 			m := &t.members[mi]
 			if mi > 0 && c.IP != m.blk.Start {
-				if st != nil {
-					st.SideExits++
-				}
+				c.statSideExit(c.IP)
 				return
 			}
 			// Stores earlier in the chain (or in the previous pass) may

@@ -39,6 +39,7 @@ import (
 	"softsec/internal/kernel"
 	"softsec/internal/layout"
 	"softsec/internal/minc"
+	"softsec/internal/telemetry"
 )
 
 // Config describes one fuzzing campaign: a victim, a mitigation stack,
@@ -196,6 +197,11 @@ type Result struct {
 	Hangs      int `json:"hangs"`
 	Exploits   int `json:"exploits"`
 
+	// TotalSteps is the guest instructions retired across all executions
+	// (per-exec deltas summed — the CPU's own counter rolls back with
+	// every snapshot restore).
+	TotalSteps uint64 `json:"total_steps"`
+
 	// Execution index (1-based) of the first finding of each class; -1
 	// if the class never occurred. These are the discovery-cost numbers.
 	FirstCrashExec   int `json:"first_crash_exec"`
@@ -261,6 +267,14 @@ type Campaign struct {
 
 	res       Result
 	crashSigs map[string]bool
+
+	// baseSteps is the CPU step count at snapshot time: every restore
+	// rolls the counter back here, so r.Steps-baseSteps is one
+	// execution's retirement.
+	baseSteps uint64
+	// events, when non-nil, receives per-execution classification and
+	// corpus-admission events (see telemetry.go).
+	events *telemetry.Ring
 }
 
 // New compiles, links and loads the victim under the configured
@@ -354,6 +368,7 @@ func New(cfg Config) (*Campaign, error) {
 	}
 	c.sched = newMutator(buildDictionary(p), cfg.MaxInput)
 	p.CPU.Coverage = &c.execCov
+	c.baseSteps = p.CPU.Steps
 	c.snap = p.Snapshot()
 	return c, nil
 }
@@ -469,7 +484,11 @@ func (c *Campaign) Fuzz(execs int) error {
 // record updates counters, findings and the corpus for one execution.
 func (c *Campaign) record(input []byte, r ExecResult) {
 	c.res.Execs++
+	c.res.TotalSteps += r.Steps - c.baseSteps
 	n := c.res.Execs
+	if c.events != nil {
+		c.events.Emit("fuzz.exec", uint32(n), uint64(r.Outcome))
+	}
 	switch r.Outcome {
 	case Crashed:
 		c.res.Crashes++
@@ -509,6 +528,9 @@ func (c *Campaign) record(input []byte, r ExecResult) {
 				data:     append([]byte(nil), input...),
 				newEdges: r.NewEdges,
 			})
+			if c.events != nil {
+				c.events.Emit("fuzz.admit", uint32(n), uint64(r.NewEdges))
+			}
 		}
 	}
 	c.res.Edges = c.virgin.Count()

@@ -190,7 +190,7 @@ func campaignTrial(cfg Config) harness.RunFunc {
 	return func(t harness.Trial) harness.TrialResult {
 		c := cfg
 		c.Seed = t.Seed
-		res, err := Run(c)
+		res, snap, err := RunCollected(c, t.Telemetry)
 		if err != nil {
 			return harness.TrialResult{Err: err}
 		}
@@ -208,10 +208,11 @@ func campaignTrial(cfg Config) harness.RunFunc {
 			outcome, code = "detected-only", 1
 		}
 		return harness.TrialResult{
-			Outcome: outcome,
-			Code:    code,
-			Success: success,
-			Detail:  res.Summary(),
+			Outcome:   outcome,
+			Code:      code,
+			Success:   success,
+			Detail:    res.Summary(),
+			Telemetry: snap,
 		}
 	}
 }

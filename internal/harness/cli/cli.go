@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 
@@ -41,6 +42,14 @@ type Sweep struct {
 	// profile-sensitive scenario groups are registered with: frame
 	// geometry and segment placement. Empty means "classic".
 	Profile string
+
+	// Telemetry outputs (see telemetry.go). Metrics, GuestProf and
+	// EvTrace name output files; EngineStats prints the engine counters
+	// after the run. Any of them set turns per-trial collection on.
+	Metrics     string
+	GuestProf   string
+	EvTrace     string
+	EngineStats bool
 }
 
 // Register installs the shared sweep flags on fs with uniform names and
@@ -55,6 +64,10 @@ func (s *Sweep) Register(fs *flag.FlagSet, seedDefault int64) {
 	fs.StringVar(&s.Group, "group", "", "restrict to one scenario group (see -scenarios)")
 	fs.StringVar(&s.Engine, "engine", "trace", "execution tier: step, block, or trace (bit-identical; trace is fastest)")
 	fs.StringVar(&s.Profile, "profile", "", "machine layout profile: "+strings.Join(layout.Names(), ", ")+" (default classic)")
+	fs.StringVar(&s.Metrics, "metrics", "", "write the merged telemetry registry as JSON to this file")
+	fs.StringVar(&s.GuestProf, "guestprof", "", "deterministic guest profile: write folded stacks to this file (forces the step engine)")
+	fs.StringVar(&s.EvTrace, "evtrace", "", "write engine events as Chrome trace_event JSON to this file")
+	fs.BoolVar(&s.EngineStats, "enginestats", false, "print block/trace engine counters after the run")
 }
 
 // LayoutProfile resolves the -profile selection. It must be called after
@@ -83,7 +96,10 @@ func (s *Sweep) ApplyEngine() error {
 
 // Options converts the flag values into engine options.
 func (s *Sweep) Options() harness.Options {
-	return harness.Options{Trials: s.Trials, Jobs: s.Jobs, BaseSeed: s.Seed}
+	return harness.Options{
+		Trials: s.Trials, Jobs: s.Jobs, BaseSeed: s.Seed,
+		Telemetry: s.TelemetrySpec(),
+	}
 }
 
 // Select resolves the group selection against reg: the named group when
@@ -127,9 +143,17 @@ func (s *Sweep) Run(w io.Writer, scs []harness.Scenario) (*harness.Report, error
 		if _, err := w.Write(append(b, '\n')); err != nil {
 			return nil, err
 		}
+		// Telemetry renderings go to stderr in JSON mode: stdout must
+		// stay pure report JSON for byte-comparison and piping.
+		if err := s.WriteOutputs(rep.Telemetry, os.Stderr); err != nil {
+			return nil, err
+		}
 		return rep, nil
 	}
 	if _, err := io.WriteString(w, rep.Render()); err != nil {
+		return nil, err
+	}
+	if err := s.WriteOutputs(rep.Telemetry, w); err != nil {
 		return nil, err
 	}
 	return rep, nil

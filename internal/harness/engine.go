@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"softsec/internal/telemetry"
 )
 
 // Options configures one engine run.
@@ -19,6 +21,9 @@ type Options struct {
 	Jobs int
 	// BaseSeed feeds TrialSeed for every trial.
 	BaseSeed int64
+	// Telemetry, when non-nil, asks every trial to collect metrics and
+	// makes Run merge them into Report.Telemetry.
+	Telemetry *telemetry.Spec
 }
 
 // CellStats aggregates the trials of one scenario.
@@ -48,6 +53,10 @@ type Report struct {
 	// Results holds the raw per-trial results, indexed [scenario][trial]
 	// in the same order as Cells. Excluded from JSON.
 	Results [][]TrialResult `json:"-"`
+	// Telemetry is the merged metrics registry when Options.Telemetry was
+	// set; nil otherwise. Excluded from JSON (the report must stay
+	// byte-identical whether or not telemetry was collected).
+	Telemetry *telemetry.Registry `json:"-"`
 }
 
 // Run executes opt.Trials trials of every scenario across a pool of
@@ -78,9 +87,10 @@ func Run(scenarios []Scenario, opt Options) *Report {
 			for u := range work {
 				s := scenarios[u.si]
 				t := Trial{
-					Scenario: s.Name,
-					Index:    u.ti,
-					Seed:     TrialSeed(opt.BaseSeed, s.Name, u.ti),
+					Scenario:  s.Name,
+					Index:     u.ti,
+					Seed:      TrialSeed(opt.BaseSeed, s.Name, u.ti),
+					Telemetry: opt.Telemetry,
 				}
 				results[u.si][u.ti] = runTrial(s, t)
 			}
@@ -123,6 +133,30 @@ func Run(scenarios []Scenario, opt Options) *Report {
 			c.SuccessRate = float64(c.Successes) / float64(ran)
 		}
 		rep.Cells = append(rep.Cells, c)
+	}
+	if opt.Telemetry != nil {
+		// Merge per-trial shards in (scenario, trial) slot order — never
+		// completion order — so the registry totals are byte-identical at
+		// any -jobs width, the same contract as the report itself.
+		reg := telemetry.NewRegistry()
+		for si, s := range scenarios {
+			for ti := range results[si] {
+				r := &results[si][ti]
+				reg.Count("harness.trials", 1)
+				switch {
+				case r.Err != nil:
+					reg.Count("harness.outcome.error", 1)
+				case r.Outcome != "":
+					reg.Count("harness.outcome."+r.Outcome, 1)
+				}
+				if r.Telemetry != nil {
+					r.Telemetry.Scenario = s.Name
+					r.Telemetry.Trial = ti
+					reg.AddSnap(r.Telemetry)
+				}
+			}
+		}
+		rep.Telemetry = reg
 	}
 	return rep
 }

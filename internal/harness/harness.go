@@ -21,14 +21,20 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+
+	"softsec/internal/telemetry"
 )
 
 // Trial identifies one execution of a scenario: which scenario, which
-// trial index, and the deterministic seed derived for it.
+// trial index, and the deterministic seed derived for it. Telemetry,
+// when non-nil, asks the RunFunc to collect per-trial metrics and
+// return them in TrialResult.Telemetry; scenarios that do not support
+// collection may ignore it (the engine still counts their outcomes).
 type Trial struct {
-	Scenario string
-	Index    int
-	Seed     int64
+	Scenario  string
+	Index     int
+	Seed      int64
+	Telemetry *telemetry.Spec
 }
 
 // TrialResult is the classified outcome of one trial.
@@ -47,6 +53,9 @@ type TrialResult struct {
 	// Err is an infrastructure failure (compile, link, recon), not an
 	// attack outcome.
 	Err error
+	// Telemetry is the trial's metric snapshot when the Trial requested
+	// collection and the scenario supports it; nil otherwise.
+	Telemetry *telemetry.Snap
 }
 
 // RunFunc executes one trial. It must be safe to call from multiple

@@ -60,6 +60,14 @@ func (p *Process) Restore(s *Snapshot) error {
 		return fmt.Errorf("kernel: restore: %w", err)
 	}
 	p.CPU.RestoreArch(s.arch)
+	if p.CPU.Prof != nil {
+		// Architectural rollback put the machine back at snapshot time
+		// (call depth zero); the profiler's shadow chain must follow.
+		p.CPU.Prof.OnRestore()
+	}
+	if p.CPU.Events != nil {
+		p.CPU.Events.Emit("snapshot.restore", p.CPU.IP, 0)
+	}
 	p.brk = s.brk
 	p.Canary = s.canary
 	// Rebuild the allocation registry in place: on the fuzzing reset

@@ -169,6 +169,10 @@ type Memory struct {
 	// its write generation, so any cached stamp into its previous life can
 	// never validate again.
 	free []*page
+
+	// stats, when non-nil, counts stamp bumps and restore traffic; see
+	// telemetry.go.
+	stats *Stats
 }
 
 // New returns an empty address space.
@@ -268,7 +272,7 @@ func (m *Memory) allocPage(perm Perm) *page {
 // generation is bumped so no cached code stamp into it can validate
 // again, and the object enters the page pool for the next Map.
 func (m *Memory) releasePage(p *page) {
-	p.wgen++
+	m.bumpStamp(p)
 	if len(m.free) < maxFreePages {
 		m.free = append(m.free, p)
 	}
@@ -354,7 +358,7 @@ func (m *Memory) Protect(addr, size uint32, perm Perm) error {
 		if p.perm != perm {
 			// What execution from this page means changed: cached decodes
 			// minted under the old permissions must not survive.
-			p.wgen++
+			m.bumpStamp(p)
 		}
 		p.perm = perm
 	}
@@ -402,7 +406,7 @@ func (m *Memory) Write8(addr uint32, v byte) error {
 	m.touch(addr, 1, p)
 	p.data[addr&PageMask] = v
 	if p.perm&X != 0 {
-		p.wgen++ // self-modifying code on a writable+executable page
+		m.bumpStamp(p) // self-modifying code on a writable+executable page
 	}
 	return nil
 }
@@ -456,7 +460,7 @@ func (m *Memory) Write32(addr uint32, v uint32) error {
 		p.data[o+2] = byte(v >> 16)
 		p.data[o+3] = byte(v >> 24)
 		if p.perm&X != 0 {
-			p.wgen++
+			m.bumpStamp(p)
 		}
 		return nil
 	}
@@ -529,7 +533,7 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) (int, error) {
 		m.touch(a, uint32(nc), p)
 		copy(p.data[a&PageMask:], b[written:written+nc])
 		if p.perm&X != 0 {
-			p.wgen++
+			m.bumpStamp(p)
 		}
 		written += nc
 	}
@@ -554,7 +558,7 @@ func (m *Memory) LoadRaw(addr uint32, b []byte) error {
 		m.touch(a, uint32(nc), p)
 		copy(p.data[a&PageMask:], b[off:off+nc])
 		off += nc
-		p.wgen++
+		m.bumpStamp(p)
 	}
 	return nil
 }
@@ -611,14 +615,14 @@ func (m *Memory) PokeWord(addr uint32, v uint32) {
 		p.data[o+1] = byte(v >> 8)
 		p.data[o+2] = byte(v >> 16)
 		p.data[o+3] = byte(v >> 24)
-		p.wgen++
+		m.bumpStamp(p)
 		return
 	}
 	for i := uint32(0); i < 4; i++ {
 		if p := m.page(addr + i); p != nil {
 			m.touch(addr+i, 1, p)
 			p.data[(addr+i)&PageMask] = byte(v >> (8 * i))
-			p.wgen++
+			m.bumpStamp(p)
 		}
 	}
 }

@@ -95,6 +95,10 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 	if m.snap != cp {
 		return fmt.Errorf("mem: Restore: checkpoint is not active for this memory")
 	}
+	if m.stats != nil {
+		m.stats.RestoreCycles++
+		m.stats.RestoreDirtyPages += uint64(len(cp.dirty))
+	}
 	for _, pn := range cp.dirty {
 		u, logged := cp.pages[pn]
 		if !logged {
@@ -111,7 +115,7 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 				cur.data = u.data
 				cur.perm = u.perm
 				cur.seq = 0
-				cur.wgen++
+				m.bumpStamp(cur)
 				continue
 			}
 			// Roll back only the span the run wrote — every content
@@ -125,11 +129,11 @@ func (m *Memory) Restore(cp *Checkpoint) error {
 				copy(cur.data[cur.dlo:cur.dhi], u.data[cur.dlo:cur.dhi])
 				// The rollback rewrote this page's bytes: decodes cached
 				// against the mutated-run content must not survive.
-				cur.wgen++
+				m.bumpStamp(cur)
 			} else if cur.perm != u.perm {
 				// Perm-only rollback still changes what executing from
 				// the page means.
-				cur.wgen++
+				m.bumpStamp(cur)
 			}
 			cur.perm = u.perm
 			// Back to checkpoint content and un-saved: the next write in

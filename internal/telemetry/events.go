@@ -1,0 +1,154 @@
+package telemetry
+
+// Ring-buffered engine events and their Chrome trace_event export.
+//
+// Engine layers emit instantaneous events — block formation, trace
+// side exits, cache invalidations, snapshot restores, fuzz exec
+// classifications, faults — into a bounded per-trial ring. Timestamps
+// are the ring's own monotonic sequence numbers: the natural
+// alternative, the CPU step counter, runs *backward* across the
+// fuzzer's snapshot restores, which timeline viewers reject. The
+// sequence number preserves event order exactly and is deterministic,
+// which is all a logical timeline needs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one instantaneous engine event.
+type Event struct {
+	// Seq is the ring-assigned monotonic sequence number, used as the
+	// export timestamp.
+	Seq uint64
+	// Name identifies the event kind ("block.build", "trace.sideexit",
+	// "fuzz.exec", ...).
+	Name string
+	// Addr is the guest address the event concerns (a block or trace
+	// entry pc, a faulting IP), zero when not meaningful.
+	Addr uint32
+	// Val carries one event-specific value (a block length, an exec
+	// outcome code, a dirty-page count).
+	Val uint64
+}
+
+// Ring is a bounded event buffer: when full, the oldest event is
+// overwritten and the drop count incremented. Not safe for concurrent
+// use — one trial, one goroutine, one ring.
+type Ring struct {
+	buf     []Event
+	start   int // index of the oldest event when full
+	n       int
+	seq     uint64
+	dropped uint64
+}
+
+// NewRing returns a ring holding at most cap events (cap < 1 uses
+// DefaultEventCap).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = DefaultEventCap
+	}
+	return &Ring{buf: make([]Event, 0, cap)}
+}
+
+// Emit appends one event, overwriting the oldest when the ring is full.
+func (r *Ring) Emit(name string, addr uint32, val uint64) {
+	r.seq++
+	e := Event{Seq: r.seq, Name: name, Addr: addr, Val: val}
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		r.n++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % r.n
+	r.dropped++
+}
+
+// Events returns the buffered events in emission order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%r.n])
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Chrome trace_event JSON export. Each trial becomes one (pid, tid)
+// lane: pid indexes the scenario (with a process_name metadata record),
+// tid is the trial index. Timelines are sorted by (scenario, trial)
+// before export, so the file is deterministic no matter what order
+// shards reached the registry.
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// WriteTrace writes every recorded timeline as Chrome trace_event JSON
+// (load in chrome://tracing or Perfetto).
+func (r *Registry) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	tls := make([]Timeline, len(r.timelines))
+	copy(tls, r.timelines)
+	r.mu.Unlock()
+	sort.Slice(tls, func(i, j int) bool {
+		if tls[i].Scenario != tls[j].Scenario {
+			return tls[i].Scenario < tls[j].Scenario
+		}
+		return tls[i].Trial < tls[j].Trial
+	})
+
+	var f traceFile
+	pids := make(map[string]int)
+	for _, tl := range tls {
+		pid, ok := pids[tl.Scenario]
+		if !ok {
+			pid = len(pids)
+			pids[tl.Scenario] = pid
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": tl.Scenario},
+			})
+		}
+		for _, e := range tl.Events {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: e.Name, Ph: "i", Ts: e.Seq, Pid: pid, Tid: tl.Trial, S: "t",
+				Args: map[string]string{
+					"addr": fmt.Sprintf("0x%08x", e.Addr),
+					"val":  fmt.Sprintf("%d", e.Val),
+				},
+			})
+		}
+		if tl.Dropped > 0 {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "events.dropped", Ph: "i", Ts: 0, Pid: pid, Tid: tl.Trial, S: "t",
+				Args: map[string]string{"val": fmt.Sprintf("%d", tl.Dropped)},
+			})
+		}
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []traceEvent{}
+	}
+	b, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
