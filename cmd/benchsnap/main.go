@@ -11,7 +11,17 @@
 //	benchsnap -validate -f /tmp/s.json -strict=false
 //	benchsnap -profiles              # per-layout-profile fuzz throughput
 //	benchsnap -profiles -validate    # check BENCH_profiles.json
+//	benchsnap -sweep                 # harness trials/sec over the attack grids
+//	benchsnap -sweep -validate       # check BENCH_sweep.json
 //	benchsnap -metrics BENCH_metrics.json   # also freeze the registry
+//
+// -sweep measures full-pipeline trial throughput (recon, build, load,
+// run, classify) over the t1, cfi and t1p grids and writes
+// BENCH_sweep.json — the headline cells of the content-keyed build
+// cache and the snapshot-warmed trial workers. The snapshot records
+// each grid's cache and warm/cold counters and the measured speedup of
+// the cached t1 grid over the same grid with caching disabled; -strict
+// validation enforces the ≥5× floor.
 //
 // -metrics additionally freezes the measurement run's telemetry
 // registry (internal/telemetry) as a metrics file: the deterministic
@@ -117,12 +127,16 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced work counts (smoke runs)")
 		strict   = flag.Bool("strict", true, "with -validate: enforce the absolute acceptance floors")
 		profiles = flag.Bool("profiles", false, "measure fuzz throughput per machine layout profile instead of the trace-tier cells")
+		sweep    = flag.Bool("sweep", false, "measure harness trial throughput over the attack grids (build cache + warm workers)")
 		metrics  = flag.String("metrics", "", "also freeze the measurement's telemetry registry as a metrics file")
 	)
 	flag.Parse()
 	def := "BENCH_trace.json"
 	if *profiles {
 		def = "BENCH_profiles.json"
+	}
+	if *sweep {
+		def = "BENCH_sweep.json"
 	}
 	if *out == "" {
 		*out = def
@@ -143,9 +157,12 @@ func main() {
 	var snap any
 	var err error
 	reg := telemetry.NewRegistry()
-	if *profiles {
+	switch {
+	case *profiles:
 		snap, err = measureProfiles(*quick, reg)
-	} else {
+	case *sweep:
+		snap, err = measureSweep(*quick, reg)
+	default:
 		snap, err = measure(*quick, reg)
 	}
 	if err != nil {
@@ -189,6 +206,13 @@ func main() {
 		for _, name := range layout.Names() {
 			fmt.Printf("  %-18s %8.0f execs/sec\n", name, s.ExecsPerSec[name])
 		}
+	case *SweepSnapshot:
+		for _, g := range append(append([]string(nil), sweepGrids...), "t1-uncached") {
+			c := s.Grids[g]
+			fmt.Printf("  %-12s %8.0f trials/sec  (hits=%d misses=%d warm=%d cold=%d)\n",
+				g, c.TrialsPerSec, c.CacheHits, c.CacheMisses, c.WarmRestores, c.ColdLoads)
+		}
+		fmt.Printf("  %-12s %8.2fx\n", "speedup", s.CacheSpeedupT1)
 	}
 }
 
@@ -434,6 +458,9 @@ func validateFile(path string, strict bool) error {
 	}
 	if peek.Tool == "benchsnap-profiles" {
 		return validateProfiles(path, b, strict)
+	}
+	if peek.Tool == "benchsnap-sweep" {
+		return validateSweep(path, b, strict)
 	}
 	if peek.Tool == telemetry.MetricsTool {
 		if err := telemetry.ValidateMetrics(b); err != nil {

@@ -55,11 +55,19 @@ func (r Recon) LocalAddr(f layout.Frame, i int) uint32 {
 
 // ReconNominal builds attacker knowledge by loading the attacker's own
 // copy of the victim at the nominal layout and reading symbols — exactly
-// what an attacker with the binary does offline.
+// what an attacker with the binary does offline. Because the nominal
+// probe is seed-independent, the result is content-cached (see
+// cache.go): repeated trials of one cell perform the reconnaissance
+// pass — probe load, symbol reads, gadget mining — exactly once.
 func ReconNominal(s Scenario, m Mitigations) (Recon, error) {
-	probe := m
-	probe.ASLR = false // recon happens on the attacker's machine
-	p, err := BuildVictim(s, probe)
+	return reconNominal(s, m, true)
+}
+
+// reconProbe is the uncached reconnaissance pass: it assumes the caller
+// already cleared probe.ASLR (recon happens on the attacker's machine).
+func reconProbe(s Scenario, probe Mitigations, counted bool) (Recon, error) {
+	m := probe
+	p, err := buildVictimVia(s, probe, counted)
 	if err != nil {
 		return Recon{}, err
 	}
@@ -164,8 +172,15 @@ type AttackSpec struct {
 
 // Scenario instantiates the runnable scenario for a mitigation config.
 func (a AttackSpec) Scenario(m Mitigations) (Scenario, error) {
+	return a.scenarioVia(m, true)
+}
+
+// scenarioVia is Scenario with an explicit cache access mode (see
+// cache.go): warm-instance construction passes counted=false so its
+// recon lookups never move the deterministic cache counters.
+func (a AttackSpec) scenarioVia(m Mitigations, counted bool) (Scenario, error) {
 	s := Scenario{Name: a.Name, Source: a.Victim, Goal: a.Goal}
-	r, err := ReconNominal(s, m)
+	r, err := reconNominal(s, m, counted)
 	if err != nil {
 		return Scenario{}, err
 	}

@@ -129,6 +129,9 @@ func CFIScenarios() []harness.Scenario {
 				Run: func(t harness.Trial) harness.TrialResult {
 					return runCFITrial(a, lv, t.Telemetry)
 				},
+				// CFI deployments are fully deterministic (no ASLR, no
+				// canary), so every cell is warm-eligible.
+				Warm: warmCellSpec(a, cfiMitigations(lv)),
 			})
 		}
 	}
@@ -139,9 +142,14 @@ func CFIScenarios() []harness.Scenario {
 // deterministic (no ASLR, no canary), so trials repeat; trial counts
 // exist to pin stability, not to sample randomness.
 func runCFITrial(a AttackSpec, lv CFILevel, spec *telemetry.Spec) harness.TrialResult {
+	return runTrialCell(a, cfiMitigations(lv), spec)
+}
+
+// cfiMitigations is the deployment a CFI-grid level runs under.
+func cfiMitigations(lv CFILevel) Mitigations {
 	m := Mitigations{ShadowStack: lv.ShadowStack}
 	if lv.Enabled {
 		m.CFI = lv.Precision.String()
 	}
-	return runTrialCell(a, m, spec)
+	return m
 }

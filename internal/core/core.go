@@ -18,7 +18,6 @@ import (
 	"softsec/internal/cpu"
 	"softsec/internal/kernel"
 	"softsec/internal/layout"
-	"softsec/internal/minc"
 	"softsec/internal/telemetry"
 )
 
@@ -155,34 +154,11 @@ type Result struct {
 // BuildVictim compiles and links a scenario's program with the given
 // mitigations, without running it. Attack builders use it to perform
 // reconnaissance against their own copy of the binary (attackers know the
-// software they attack; what ASLR hides is the *loaded* layout).
+// software they attack; what ASLR hides is the *loaded* layout). The
+// compile and link artifacts are content-cached (see cache.go); only the
+// load — where the per-trial randomization happens — runs every call.
 func BuildVictim(s Scenario, m Mitigations) (*kernel.Process, error) {
-	prof, err := m.LayoutProfile()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	opt := minc.Options{Canary: m.Canary, BoundsCheck: m.Checked, Layout: prof}
-	img, err := minc.Compile("victim", s.Source, opt)
-	if err != nil {
-		return nil, fmt.Errorf("core: compile victim: %w", err)
-	}
-	imgs := append([]*asm.Image{kernel.Libc(), img}, s.ExtraModules...)
-	ld, err := kernel.Link(imgs...)
-	if err != nil {
-		return nil, fmt.Errorf("core: link: %w", err)
-	}
-	cfg := kernel.Config{
-		ShadowStack: m.ShadowStack,
-		DEP:         m.DEP,
-		ASLR:        m.ASLR,
-		ASLRSeed:    m.ASLRSeed,
-		CanarySeed:  m.CanarySeed,
-		CheckedLibc: m.Checked,
-		Input:       s.Attacker,
-		MaxSteps:    s.MaxSteps,
-		Profile:     prof,
-	}
-	return kernel.Load(ld, cfg)
+	return buildVictimVia(s, m, true)
 }
 
 // Run executes the scenario under the mitigations and classifies it.

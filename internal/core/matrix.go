@@ -44,7 +44,7 @@ func nonzeroSeed(s int64) int64 {
 // meaningful for the randomized ones.
 func TrialScenario(a AttackSpec, cfg Mitigations, perTrialSeeds bool) harness.Scenario {
 	label := cfg.String()
-	return harness.Scenario{
+	sc := harness.Scenario{
 		Name:  "t1/" + a.Name + "/" + label,
 		Group: "t1",
 		Meta:  map[string]string{"attack": a.Name, "mitigation": label},
@@ -61,6 +61,14 @@ func TrialScenario(a AttackSpec, cfg Mitigations, perTrialSeeds bool) harness.Sc
 			return runTrialCell(a, m, t.Telemetry)
 		},
 	}
+	// A cell whose effective config never changes across trials — no
+	// per-trial reseeding at all, or a config the reseeding rule leaves
+	// untouched — always loads the same victim at the same layout, so
+	// workers may serve its trials from a warm snapshot.
+	if !perTrialSeeds || !warmReseeds(cfg) {
+		sc.Warm = warmCellSpec(a, cfg)
+	}
+	return sc
 }
 
 // T1Scenarios builds the full attack × mitigation grid as harness

@@ -139,7 +139,7 @@ func ProfileScenarios() []harness.Scenario {
 // grid dimension, under group "t1p".
 func profileTrialScenario(a AttackSpec, cfg Mitigations, profile string) harness.Scenario {
 	label := cfg.String()
-	return harness.Scenario{
+	sc := harness.Scenario{
 		Name:  "t1p/" + profile + "/" + a.Name + "/" + label,
 		Group: "t1p",
 		Meta:  map[string]string{"attack": a.Name, "mitigation": label, "profile": profile},
@@ -155,6 +155,12 @@ func profileTrialScenario(a AttackSpec, cfg Mitigations, profile string) harness
 			return runTrialCell(a, m, t.Telemetry)
 		},
 	}
+	if !warmReseeds(cfg) {
+		m := cfg
+		m.Profile = profile
+		sc.Warm = warmCellSpec(a, m)
+	}
+	return sc
 }
 
 // aslrSweep runs the attack against ASLR alone, with a fresh layout seed

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"softsec/internal/harness"
+	"softsec/internal/kernel"
+)
+
+// Warm trial instances for attack cells whose victim is trial-invariant:
+// the mitigation config carries no per-trial reseeding, so every cold
+// trial would load the exact same binary at the exact same layout and
+// differ only in the input cursor and run state — precisely what
+// kernel.Snapshot/Restore resets. A warm cell loads once per worker,
+// snapshots the pristine process, and serves each trial by Restore.
+//
+// Result equivalence with the cold path, piece by piece:
+//
+//   - layout/canary: the config is static (the eligibility gate below),
+//     so the cold path's per-trial Load draws the same layout and canary
+//     every time; Restore reproduces them from the snapshot.
+//   - input: Restore re-arms Config.Input with a fresh clone of the
+//     pristine input, matching the clone the cold Load performs. New
+//     refuses inputs that cannot clone (stateful InputFunc closures),
+//     falling the worker back to cold loads.
+//   - CFI policy: installed once before the snapshot; the policy is
+//     configuration, not run state, and Restore leaves it in place —
+//     same as the cold path installing it after every load.
+//   - telemetry: instruments attach fresh per trial in both paths. The
+//     one asymmetry is the CPU's internal decode/block/trace caches,
+//     which survive Restore (they are semantically transparent but
+//     instrumented): telemetry trials therefore drop them via
+//     ResetCaches before attaching, making every instrumented trial
+//     start exactly as cold as a fresh load.
+//
+// PostLoad hooks are refused wholesale: they run arbitrary per-load
+// code the snapshot cannot prove idempotent.
+
+// errNotWarmSafe marks scenarios the warm path must not serve.
+var errNotWarmSafe = errors.New("core: scenario is not warm reset-safe")
+
+// warmCell is one worker's reusable loaded process for one cell.
+type warmCell struct {
+	s    Scenario
+	p    *kernel.Process
+	snap *kernel.Snapshot
+}
+
+// warmCellSpec returns the harness warm hook for an attack cell with a
+// static mitigation config. Callers are responsible for the static
+// part — never attach one to a cell that reseeds m per trial.
+func warmCellSpec(a AttackSpec, m Mitigations) *harness.WarmSpec {
+	return &harness.WarmSpec{New: func() (harness.WarmInstance, error) {
+		return newWarmCell(a, m)
+	}}
+}
+
+// newWarmCell builds the cell's victim once and snapshots it pristine.
+// All builds go through the uncounted cache mode (cache.go): how many
+// workers warm a cell is a scheduling artifact that must never move
+// the deterministic build-cache counters.
+func newWarmCell(a AttackSpec, m Mitigations) (*warmCell, error) {
+	s, err := a.scenarioVia(m, false)
+	if err != nil {
+		return nil, err
+	}
+	if s.PostLoad != nil {
+		return nil, fmt.Errorf("%w: PostLoad hook", errNotWarmSafe)
+	}
+	if s.Attacker != nil {
+		if _, ok := s.Attacker.(interface{ CloneInput() kernel.InputSource }); !ok {
+			return nil, fmt.Errorf("%w: input source cannot clone", errNotWarmSafe)
+		}
+	}
+	p, err := buildVictimVia(s, m, false)
+	if err != nil {
+		return nil, err
+	}
+	if m.CFI != "" {
+		prec, ok := CFIPrecisionByName(m.CFI)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown CFI precision %q (want coarse or fine)", m.CFI)
+		}
+		if err := InstallCFI(p, prec); err != nil {
+			return nil, err
+		}
+	}
+	return &warmCell{s: s, p: p, snap: p.Snapshot()}, nil
+}
+
+// RunTrial implements harness.WarmInstance: restore the pristine
+// snapshot, run, classify — the warm mirror of RunCollected.
+func (w *warmCell) RunTrial(t harness.Trial) harness.TrialResult {
+	p := w.p
+	// Drop the previous trial's event/profiler hooks before restoring:
+	// Restore emits a restore event and notifies the profiler, neither
+	// of which belongs to the trial about to run.
+	p.CPU.Events = nil
+	p.CPU.Prof = nil
+	if err := p.Restore(w.snap); err != nil {
+		return harness.TrialResult{Err: fmt.Errorf("core: warm restore: %w", err)}
+	}
+	if t.Telemetry != nil {
+		p.CPU.ResetCaches()
+	}
+	ins := kernel.AttachInstruments(p, t.Telemetry)
+	st := p.Run()
+	res := Result{
+		State:  st,
+		Exit:   p.CPU.ExitCode(),
+		Output: p.Output.Bytes(),
+		Proc:   p,
+	}
+	res.Outcome = Classify(p, st, w.s.Goal)
+	tr := harness.TrialResult{
+		Outcome: res.Outcome.String(),
+		Code:    int(res.Outcome),
+		Success: res.Outcome == Compromised,
+	}
+	if ins != nil {
+		tr.Telemetry = ins.Snap(p, ins.SinceAttach(p))
+	}
+	return tr
+}
+
+// warmReseeds reports whether a per-trial-seeded cell would re-randomize
+// this config every trial — the condition that disqualifies warm reuse
+// (matrix.go's reseeding rule, kept in one place).
+func warmReseeds(m Mitigations) bool {
+	return m.ASLR || (m.Canary && m.CanarySeed != 0)
+}

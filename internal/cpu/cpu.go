@@ -343,6 +343,21 @@ func (c *CPU) ensureBound() {
 	}
 }
 
+// ResetCaches drops the decode, block, and trace caches along with the
+// warm-up probe and any in-flight trace recording, returning the CPU's
+// execution-cache state to exactly what a freshly constructed CPU holds.
+// Snapshot/Restore deliberately leaves these caches alone (they are
+// semantically transparent), but instrumented runs count their hit/miss
+// traffic: a harness warm worker that replays trials on a restored
+// process calls ResetCaches before attaching instruments so the
+// telemetry it collects is byte-identical to a cold fresh load.
+func (c *CPU) ResetCaches() {
+	c.dcache, c.bcache, c.tcache = nil, nil, nil
+	c.rec.active = false
+	c.warmTags = [warmSize]uint32{}
+	c.cacheMem = c.Mem
+}
+
 func (c *CPU) bindPolicy() {
 	c.bound = c.Policy
 	c.polEpoch++ // cached per-block policy summaries are for the old policy

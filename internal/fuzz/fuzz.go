@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"softsec/internal/attack"
+	"softsec/internal/buildcache"
 	"softsec/internal/cfi"
 	"softsec/internal/cpu"
 	"softsec/internal/kernel"
@@ -277,6 +278,22 @@ type Campaign struct {
 	events *telemetry.Ring
 }
 
+// victimKey is the content identity of a fuzz victim build: the source
+// plus every mitigation that reaches codegen. Runtime mitigations (DEP,
+// ASLR, CFI, shadow stack) and all seeds act on the loaded process, not
+// the linked artifact, so they stay out of the key.
+type victimKey struct {
+	src     string
+	canary  bool
+	checked bool
+	profile string
+}
+
+// linkCache memoizes the compile+link pass across campaign trials. Every
+// lookup is a counted Do on a per-trial path, so the published counters
+// stay identical at any worker count (see internal/buildcache).
+var linkCache = buildcache.New[victimKey, *kernel.Linked]("fuzz.link", 64)
+
 // New compiles, links and loads the victim under the configured
 // mitigations, scrapes the mutation dictionary from the loaded image,
 // and arms the snapshot every execution resets to.
@@ -311,15 +328,26 @@ func New(cfg Config) (*Campaign, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: %w", err)
 	}
-	img, err := minc.Compile("victim", cfg.Source, minc.Options{
-		Canary: cfg.Canary, BoundsCheck: cfg.Checked, Layout: prof,
+	// The compiled and linked victim is a pure function of the content
+	// key, so repeated campaign trials of one cell (each a fresh Campaign
+	// with its own seed) share one toolchain pass; the per-campaign Load
+	// below re-randomizes everything the seeds govern.
+	key := victimKey{src: cfg.Source, canary: cfg.Canary, checked: cfg.Checked, profile: cfg.Profile}
+	ld, err := linkCache.Do(key, func() (*kernel.Linked, error) {
+		img, err := minc.Compile("victim", cfg.Source, minc.Options{
+			Canary: cfg.Canary, BoundsCheck: cfg.Checked, Layout: prof,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: compile victim: %w", err)
+		}
+		ld, err := kernel.Link(kernel.Libc(), img)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: link: %w", err)
+		}
+		return ld, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("fuzz: compile victim: %w", err)
-	}
-	ld, err := kernel.Link(kernel.Libc(), img)
-	if err != nil {
-		return nil, fmt.Errorf("fuzz: link: %w", err)
+		return nil, err
 	}
 	p, err := kernel.Load(ld, kernel.Config{
 		DEP:         cfg.DEP,

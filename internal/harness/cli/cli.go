@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"strings"
 
+	"softsec/internal/buildcache"
 	"softsec/internal/cpu"
 	"softsec/internal/harness"
 	"softsec/internal/layout"
@@ -50,6 +51,10 @@ type Sweep struct {
 	GuestProf   string
 	EvTrace     string
 	EngineStats bool
+
+	// CacheStats prints the per-cache build-cache counters and the
+	// warm/cold trial mix after the run.
+	CacheStats bool
 }
 
 // Register installs the shared sweep flags on fs with uniform names and
@@ -68,6 +73,7 @@ func (s *Sweep) Register(fs *flag.FlagSet, seedDefault int64) {
 	fs.StringVar(&s.GuestProf, "guestprof", "", "deterministic guest profile: write folded stacks to this file (forces the step engine)")
 	fs.StringVar(&s.EvTrace, "evtrace", "", "write engine events as Chrome trace_event JSON to this file")
 	fs.BoolVar(&s.EngineStats, "enginestats", false, "print block/trace engine counters after the run")
+	fs.BoolVar(&s.CacheStats, "cachestats", false, "print build-cache hit/miss counters and the warm/cold trial mix after the run")
 }
 
 // LayoutProfile resolves the -profile selection. It must be called after
@@ -148,6 +154,7 @@ func (s *Sweep) Run(w io.Writer, scs []harness.Scenario) (*harness.Report, error
 		if err := s.WriteOutputs(rep.Telemetry, os.Stderr); err != nil {
 			return nil, err
 		}
+		s.writeCacheStats(os.Stderr, rep)
 		return rep, nil
 	}
 	if _, err := io.WriteString(w, rep.Render()); err != nil {
@@ -156,5 +163,21 @@ func (s *Sweep) Run(w io.Writer, scs []harness.Scenario) (*harness.Report, error
 	if err := s.WriteOutputs(rep.Telemetry, w); err != nil {
 		return nil, err
 	}
+	s.writeCacheStats(w, rep)
 	return rep, nil
+}
+
+// writeCacheStats renders the -cachestats listing: one line per build
+// cache, then the totals and the warm/cold trial mix.
+func (s *Sweep) writeCacheStats(w io.Writer, rep *harness.Report) {
+	if !s.CacheStats {
+		return
+	}
+	fmt.Fprintf(w, "build caches:\n")
+	buildcache.Each(func(name string, st buildcache.Stats) {
+		fmt.Fprintf(w, "  %-14s hits=%-6d misses=%-6d evictions=%d\n", name, st.Hits, st.Misses, st.Evictions)
+	})
+	tot := buildcache.TotalStats()
+	fmt.Fprintf(w, "  %-14s hits=%-6d misses=%-6d evictions=%d\n", "total", tot.Hits, tot.Misses, tot.Evictions)
+	fmt.Fprintf(w, "trial loads: warm_restores=%d cold_loads=%d\n", rep.WarmRestores, rep.ColdLoads)
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"softsec/internal/buildcache"
 	"softsec/internal/telemetry"
 )
 
@@ -57,6 +58,12 @@ type Report struct {
 	// set; nil otherwise. Excluded from JSON (the report must stay
 	// byte-identical whether or not telemetry was collected).
 	Telemetry *telemetry.Registry `json:"-"`
+	// WarmRestores and ColdLoads count how trials were served: by a
+	// snapshot Restore on a per-worker warm instance, or by a fresh
+	// cold load. Diagnostics only — excluded from JSON because the mix
+	// is an execution detail, never an observable result.
+	WarmRestores int `json:"-"`
+	ColdLoads    int `json:"-"`
 }
 
 // Run executes opt.Trials trials of every scenario across a pool of
@@ -77,13 +84,20 @@ func Run(scenarios []Scenario, opt Options) *Report {
 		results[i] = make([]TrialResult, trials)
 	}
 
+	// Each Run observes a cold build cache: the hit/miss counters it
+	// publishes then describe this sweep alone, and two runs in one
+	// process (the jobs-1-vs-N determinism tests) see identical ones.
+	buildcache.ResetAll()
+
 	type unit struct{ si, ti int }
 	work := make(chan unit, jobs)
 	var wg sync.WaitGroup
+	workers := make([]warmState, jobs)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(ws *warmState) {
 			defer wg.Done()
+			ws.inst = make(map[int]WarmInstance)
 			for u := range work {
 				s := scenarios[u.si]
 				t := Trial{
@@ -92,9 +106,9 @@ func Run(scenarios []Scenario, opt Options) *Report {
 					Seed:      TrialSeed(opt.BaseSeed, s.Name, u.ti),
 					Telemetry: opt.Telemetry,
 				}
-				results[u.si][u.ti] = runTrial(s, t)
+				results[u.si][u.ti] = ws.runUnit(s, u.si, t)
 			}
-		}()
+		}(&workers[w])
 	}
 	for si := range scenarios {
 		for ti := 0; ti < trials; ti++ {
@@ -105,6 +119,10 @@ func Run(scenarios []Scenario, opt Options) *Report {
 	wg.Wait()
 
 	rep := &Report{BaseSeed: opt.BaseSeed, Trials: trials, Results: results}
+	for i := range workers {
+		rep.WarmRestores += workers[i].warmed
+		rep.ColdLoads += workers[i].cold
+	}
 	for si, s := range scenarios {
 		c := CellStats{
 			Scenario: s.Name,
@@ -156,6 +174,18 @@ func Run(scenarios []Scenario, opt Options) *Report {
 				}
 			}
 		}
+		// Cache observability: how the run's builds and loads were
+		// served. Warm eligibility is static per cell and cache lookups
+		// happen only on per-trial paths under singleflight, so all of
+		// these are invariant across -jobs widths; with the cache layer
+		// disabled the buildcache counters are zero and (Count skips
+		// zeros) the keys are simply absent.
+		st := buildcache.TotalStats()
+		reg.Count("buildcache.hits", st.Hits)
+		reg.Count("buildcache.misses", st.Misses)
+		reg.Count("buildcache.evictions", st.Evictions)
+		reg.Count("harness.warm_restores", uint64(rep.WarmRestores))
+		reg.Count("harness.cold_loads", uint64(rep.ColdLoads))
 		rep.Telemetry = reg
 	}
 	return rep

@@ -77,6 +77,13 @@ type Scenario struct {
 	Meta map[string]string
 	// Run executes one trial.
 	Run RunFunc
+	// Warm, when non-nil, opts the cell into per-worker warm process
+	// reuse: workers running several trials of the cell load the victim
+	// once and reset it via snapshot Restore instead of a fresh load.
+	// Scenario builders attach one only when the cell's victim layout
+	// is trial-invariant and restoring is provably result-identical to
+	// a cold load. Nil means every trial runs the cold Run path.
+	Warm *WarmSpec
 }
 
 // TrialSeed derives the deterministic seed for trial i of the named

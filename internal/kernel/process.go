@@ -188,6 +188,18 @@ const DefaultMaxSteps = 2_000_000
 // contains a NUL byte, like StackGuard's terminator canary.
 const DefaultCanary = uint32(0x00AB1DE5)
 
+// CanaryValue returns the stack canary a process loaded with the given
+// CanarySeed receives: DefaultCanary for seed zero, otherwise a seeded
+// pseudorandom odd value. Exposed so seed-independent cached recon
+// results can be fixed up to the per-configuration canary without
+// re-running the reconnaissance load.
+func CanaryValue(seed int64) uint32 {
+	if seed == 0 {
+		return DefaultCanary
+	}
+	return uint32(rand.New(rand.NewSource(seed)).Int63()) | 1
+}
+
 // Process is a loaded program plus its kernel-side state.
 type Process struct {
 	CPU    *cpu.CPU
@@ -379,10 +391,7 @@ func Load(ld *Linked, cfg Config) (*Process, error) {
 	// Stack canary (Section III-C1): an unpredictable value the loader
 	// writes into the process; function prologues copy it next to the
 	// saved registers and epilogues verify it.
-	p.Canary = DefaultCanary
-	if cfg.CanarySeed != 0 {
-		p.Canary = uint32(rand.New(rand.NewSource(cfg.CanarySeed)).Int63()) | 1
-	}
+	p.Canary = CanaryValue(cfg.CanarySeed)
 	if addr, ok := p.SymbolAddr("__canary"); ok {
 		m.PokeWord(addr, p.Canary)
 	}

@@ -32,6 +32,7 @@ package layout
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // CanaryPlacement says where the compiler's canary slot goes in a frame.
@@ -154,42 +155,62 @@ func InvertedLocals() *Profile {
 	}
 }
 
-// Profiles returns every named profile, in stable order.
+// The named profiles are immutable after construction, so lookups are
+// memoized: ByName runs on every trial's BuildVictim and used to pay a
+// full three-constructor rebuild plus a linear scan per call. No
+// consumer mutates a *Profile it did not construct itself.
+var profCache struct {
+	once   sync.Once
+	all    []*Profile
+	byName map[string]*Profile
+	names  []string
+}
+
+func profiles() {
+	profCache.all = []*Profile{Classic(), CanaryBelowVLA(), InvertedLocals()}
+	profCache.byName = make(map[string]*Profile, len(profCache.all))
+	for _, p := range profCache.all {
+		profCache.byName[p.Name] = p
+		profCache.names = append(profCache.names, p.Name)
+	}
+	sort.Strings(profCache.names)
+}
+
+// Profiles returns every named profile, in stable order. The returned
+// profiles are shared and must not be mutated.
 func Profiles() []*Profile {
-	return []*Profile{Classic(), CanaryBelowVLA(), InvertedLocals()}
+	profCache.once.Do(profiles)
+	return append([]*Profile(nil), profCache.all...)
 }
 
 // Names returns the profile names, sorted, for error messages and flag
 // help.
 func Names() []string {
-	var out []string
-	for _, p := range Profiles() {
-		out = append(out, p.Name)
-	}
-	sort.Strings(out)
-	return out
+	profCache.once.Do(profiles)
+	return append([]string(nil), profCache.names...)
 }
 
 // ByName resolves a profile name. The empty string means classic (the
-// unparameterized historical behavior).
+// unparameterized historical behavior). The returned profile is shared
+// and must not be mutated.
 func ByName(name string) (*Profile, error) {
+	profCache.once.Do(profiles)
 	if name == "" {
-		return Classic(), nil
+		return profCache.byName["classic"], nil
 	}
-	for _, p := range Profiles() {
-		if p.Name == name {
-			return p, nil
-		}
+	if p, ok := profCache.byName[name]; ok {
+		return p, nil
 	}
 	return nil, fmt.Errorf("unknown layout profile %q (want one of %v)", name, Names())
 }
 
-// OrClassic returns p, or the classic profile when p is nil — the nil
-// default every consumer uses so existing call sites keep their seed
-// behavior.
+// OrClassic returns p, or the shared classic profile when p is nil —
+// the nil default every consumer uses so existing call sites keep their
+// seed behavior.
 func OrClassic(p *Profile) *Profile {
 	if p == nil {
-		return Classic()
+		profCache.once.Do(profiles)
+		return profCache.byName["classic"]
 	}
 	return p
 }
