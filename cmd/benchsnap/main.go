@@ -14,6 +14,12 @@
 //	benchsnap -sweep                 # harness trials/sec over the attack grids
 //	benchsnap -sweep -validate       # check BENCH_sweep.json
 //	benchsnap -metrics BENCH_metrics.json   # also freeze the registry
+//	benchsnap -runlog runs           # also append a record to the run ledger
+//
+// The snapshot schemas and validators live in internal/runlog/benchfmt
+// — one package owns the on-disk types of every BENCH_*.json kind, and
+// -validate dispatches on the file's "tool" tag, so it checks any of
+// them (plus telemetry-metrics files and run-ledger records).
 //
 // -sweep measures full-pipeline trial throughput (recon, build, load,
 // run, classify) over the t1, cfi and t1p grids and writes
@@ -26,16 +32,17 @@
 // -metrics additionally freezes the measurement run's telemetry
 // registry (internal/telemetry) as a metrics file: the deterministic
 // engine counters of the instrumented cells plus every headline timing
-// under the explicitly non-deterministic "wall" section. The file
-// carries the standard "telemetry-metrics" tool tag, so -validate
-// dispatches it to telemetry.ValidateMetrics like any other snapshot
-// kind.
+// under the explicitly non-deterministic "wall" section.
+//
+// -runlog appends the measurement as a bench-kind record to a run
+// ledger (internal/runlog): every headline number in the record's wall
+// section, the registry counters alongside, so rundiff can compare two
+// bench runs with regression floors (e.g. -floor trace.execs_per_sec.fuzz_micro=0.8).
 //
 // -profiles measures the echo-victim fuzz campaign once per machine
 // layout profile (internal/layout) and writes BENCH_profiles.json — the
 // cross-profile throughput comparison that shows layout parameterization
-// stays off the hot path. -validate dispatches on the snapshot's "tool"
-// tag, so it checks either kind of file.
+// stays off the hot path.
 //
 // -validate re-reads a snapshot and checks it without re-measuring:
 // schema and shape, positive finite metrics, trace-tier sanity (a trace
@@ -48,11 +55,11 @@
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -63,61 +70,10 @@ import (
 	"softsec/internal/layout"
 	"softsec/internal/mem"
 	"softsec/internal/minc"
+	"softsec/internal/runlog"
+	"softsec/internal/runlog/benchfmt"
 	"softsec/internal/telemetry"
 )
-
-const schemaVersion = 1
-
-// Snapshot is the on-disk format. Map keys are fixed strings so the
-// marshaled form is deterministic (encoding/json sorts map keys).
-type Snapshot struct {
-	Schema int    `json:"schema"`
-	Tool   string `json:"tool"`
-	Quick  bool   `json:"quick,omitempty"`
-	Counts struct {
-		ChainInstrs   int `json:"chain_instrs"`
-		FuzzExecs     int `json:"fuzz_execs"`
-		RestoreCycles int `json:"restore_cycles"`
-	} `json:"counts"`
-	// NsPerInstr: step_loop, block_loop, block_chain8, trace_chain8.
-	NsPerInstr map[string]float64 `json:"ns_per_instr"`
-	// ExecsPerSec: fuzz_micro, fuzz_parser, fuzz_cfi_coarse, fuzz_cfi_fine.
-	ExecsPerSec map[string]float64 `json:"execs_per_sec"`
-	// NsPerOp: snapshot_restore.
-	NsPerOp map[string]float64 `json:"ns_per_op"`
-	Trace   TraceSummary       `json:"trace"`
-}
-
-// ProfilesSnapshot is the on-disk format of -profiles mode
-// (BENCH_profiles.json): fuzz-campaign throughput of the echo victim on
-// every machine layout profile (internal/layout). The cell answers
-// "does parameterizing frame geometry and segment placement cost
-// simulator throughput?" — the profiles differ only in layout, so any
-// spread beyond noise would mean profile-dependent code on a hot path.
-type ProfilesSnapshot struct {
-	Schema int    `json:"schema"`
-	Tool   string `json:"tool"`
-	Quick  bool   `json:"quick,omitempty"`
-	Counts struct {
-		FuzzExecs int `json:"fuzz_execs"`
-	} `json:"counts"`
-	// ExecsPerSec keys are layout profile names.
-	ExecsPerSec map[string]float64 `json:"execs_per_sec"`
-}
-
-// TraceSummary records the trace-tier counters of the chain8 run — the
-// proof that the trace_chain8 number actually measured superblocks.
-type TraceSummary struct {
-	Formed       uint64            `json:"formed"`
-	Dispatches   uint64            `json:"dispatches"`
-	Completions  uint64            `json:"completions"`
-	LoopBacks    uint64            `json:"loopbacks"`
-	SideExits    uint64            `json:"side_exits"`
-	StaleExits   uint64            `json:"stale_exits"`
-	AvgLen       float64           `json:"avg_len"`
-	SideExitRate float64           `json:"side_exit_rate"`
-	LenHist      map[string]uint64 `json:"len_hist"`
-}
 
 func main() {
 	var (
@@ -129,14 +85,16 @@ func main() {
 		profiles = flag.Bool("profiles", false, "measure fuzz throughput per machine layout profile instead of the trace-tier cells")
 		sweep    = flag.Bool("sweep", false, "measure harness trial throughput over the attack grids (build cache + warm workers)")
 		metrics  = flag.String("metrics", "", "also freeze the measurement's telemetry registry as a metrics file")
+		runDir   = flag.String("runlog", "", "also append the measurement as a bench record to this run-ledger directory (compare runs with rundiff)")
 	)
 	flag.Parse()
+	mode := "trace"
 	def := "BENCH_trace.json"
 	if *profiles {
-		def = "BENCH_profiles.json"
+		mode, def = "profiles", "BENCH_profiles.json"
 	}
 	if *sweep {
-		def = "BENCH_sweep.json"
+		mode, def = "sweep", "BENCH_sweep.json"
 	}
 	if *out == "" {
 		*out = def
@@ -169,12 +127,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
-	b, err := json.MarshalIndent(snap, "", "  ")
+	// The machine fingerprint rides the metrics wall section (and the
+	// run record), same as harness sweeps: a frozen registry names the
+	// machine that produced its numbers.
+	env := runlog.CaptureEnv(runtime.NumCPU())
+	env.PublishWall(reg)
+	b, err := benchfmt.Marshal(snap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
@@ -191,8 +154,14 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *metrics)
 	}
+	if *runDir != "" {
+		if err := appendRunLog(*runDir, mode, *quick, env, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+	}
 	switch s := snap.(type) {
-	case *Snapshot:
+	case *benchfmt.Snapshot:
 		for k, v := range s.NsPerInstr {
 			fmt.Printf("  %-18s %8.2f ns/instr\n", k, v)
 		}
@@ -202,12 +171,12 @@ func main() {
 		for k, v := range s.NsPerOp {
 			fmt.Printf("  %-18s %8.1f ns/op\n", k, v)
 		}
-	case *ProfilesSnapshot:
+	case *benchfmt.ProfilesSnapshot:
 		for _, name := range layout.Names() {
 			fmt.Printf("  %-18s %8.0f execs/sec\n", name, s.ExecsPerSec[name])
 		}
-	case *SweepSnapshot:
-		for _, g := range append(append([]string(nil), sweepGrids...), "t1-uncached") {
+	case *benchfmt.SweepSnapshot:
+		for _, g := range append(append([]string(nil), benchfmt.SweepGrids...), "t1-uncached") {
 			c := s.Grids[g]
 			fmt.Printf("  %-12s %8.0f trials/sec  (hits=%d misses=%d warm=%d cold=%d)\n",
 				g, c.TrialsPerSec, c.CacheHits, c.CacheMisses, c.WarmRestores, c.ColdLoads)
@@ -216,10 +185,63 @@ func main() {
 	}
 }
 
+// validateFile dispatches a snapshot file to its kind's validator by
+// tool tag: the benchfmt kinds plus run-ledger records.
+func validateFile(path string, strict bool) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	err = benchfmt.Validate(b, strict)
+	if errors.Is(err, benchfmt.ErrUnknownTool) {
+		if tool, perr := benchfmt.PeekTool(b); perr == nil && tool == runlog.Tool {
+			err = runlog.Validate(b)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// appendRunLog appends the measurement to a run ledger as a bench-kind
+// record: every headline wall number (the registry's wall section) plus
+// the deterministic counters, so rundiff can gate on throughput ratios.
+func appendRunLog(dir, mode string, quick bool, env runlog.Env, reg *telemetry.Registry) error {
+	st, err := runlog.Open(dir)
+	if err != nil {
+		return err
+	}
+	f := reg.File()
+	wall := map[string]float64{}
+	for k, v := range f.Wall {
+		// Headline timings only — the env.* fingerprint entries already
+		// live in Record.Env.
+		if fv, ok := v.(float64); ok && !strings.HasPrefix(k, "env.") {
+			wall[mode+"."+k] = fv
+		}
+	}
+	cfg := runlog.Config{Tool: "benchsnap", Kind: runlog.KindBench, Group: mode}
+	if quick {
+		cfg.Profile = "quick" // quick budgets are a different experiment
+	}
+	e, err := st.Append(&runlog.Record{
+		Config:  cfg,
+		Env:     env,
+		Metrics: f,
+		Wall:    wall,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "runlog: appended run %d (%s) to %s\n", e.Seq, e.ID, dir)
+	return nil
+}
+
 // --- measurement --------------------------------------------------------
 
-func measure(quick bool, reg *telemetry.Registry) (*Snapshot, error) {
-	s := &Snapshot{Schema: schemaVersion, Tool: "benchsnap", Quick: quick}
+func measure(quick bool, reg *telemetry.Registry) (*benchfmt.Snapshot, error) {
+	s := &benchfmt.Snapshot{Schema: benchfmt.SchemaVersion, Tool: benchfmt.ToolTrace, Quick: quick}
 	s.Counts.ChainInstrs = 8 << 20
 	s.Counts.FuzzExecs = 1 << 20
 	s.Counts.RestoreCycles = 200000
@@ -256,7 +278,7 @@ func measure(quick bool, reg *telemetry.Registry) (*Snapshot, error) {
 	if trace.Formed == 0 {
 		return nil, fmt.Errorf("trace_chain8: no trace formed (measured the block tier)")
 	}
-	s.Trace = TraceSummary{
+	s.Trace = benchfmt.TraceSummary{
 		Formed: trace.Formed, Dispatches: trace.Dispatches,
 		Completions: trace.Completions, LoopBacks: trace.LoopBacks,
 		SideExits: trace.SideExits, StaleExits: trace.StaleExits,
@@ -307,8 +329,8 @@ func measure(quick bool, reg *telemetry.Registry) (*Snapshot, error) {
 
 // measureProfiles times the echo-victim fuzz campaign (production trace
 // tier, DEP on) once per layout profile with identical budgets.
-func measureProfiles(quick bool, reg *telemetry.Registry) (*ProfilesSnapshot, error) {
-	s := &ProfilesSnapshot{Schema: schemaVersion, Tool: "benchsnap-profiles", Quick: quick}
+func measureProfiles(quick bool, reg *telemetry.Registry) (*benchfmt.ProfilesSnapshot, error) {
+	s := &benchfmt.ProfilesSnapshot{Schema: benchfmt.SchemaVersion, Tool: benchfmt.ToolProfiles, Quick: quick}
 	s.Counts.FuzzExecs = 1 << 18
 	if quick {
 		s.Counts.FuzzExecs = 1 << 13
@@ -439,167 +461,3 @@ void main() {
 	read(0, buf, 64); // spatial memory-safety vulnerability
 	write(1, buf, 5);
 }`
-
-// --- validation ---------------------------------------------------------
-
-func validateFile(path string, strict bool) error {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	// Dispatch on the tool tag: one -validate entry point covers both
-	// snapshot kinds, and a file of the wrong kind fails on its own
-	// schema instead of a confusing unknown-field error.
-	var peek struct {
-		Tool string `json:"tool"`
-	}
-	if err := json.Unmarshal(b, &peek); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	if peek.Tool == "benchsnap-profiles" {
-		return validateProfiles(path, b, strict)
-	}
-	if peek.Tool == "benchsnap-sweep" {
-		return validateSweep(path, b, strict)
-	}
-	if peek.Tool == telemetry.MetricsTool {
-		if err := telemetry.ValidateMetrics(b); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		return nil
-	}
-	var s Snapshot
-	dec := json.NewDecoder(strings.NewReader(string(b)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	var errs []string
-	fail := func(format string, args ...any) {
-		errs = append(errs, fmt.Sprintf(format, args...))
-	}
-
-	if s.Schema != schemaVersion {
-		fail("schema %d, want %d", s.Schema, schemaVersion)
-	}
-	if s.Counts.ChainInstrs <= 0 || s.Counts.FuzzExecs <= 0 || s.Counts.RestoreCycles <= 0 {
-		fail("non-positive work counts: %+v", s.Counts)
-	}
-	for _, group := range []struct {
-		name string
-		m    map[string]float64
-		keys []string
-	}{
-		{"ns_per_instr", s.NsPerInstr, []string{"step_loop", "block_loop", "block_chain8", "trace_chain8"}},
-		{"execs_per_sec", s.ExecsPerSec, []string{"fuzz_micro", "fuzz_parser", "fuzz_cfi_coarse", "fuzz_cfi_fine"}},
-		{"ns_per_op", s.NsPerOp, []string{"snapshot_restore"}},
-	} {
-		for _, k := range group.keys {
-			v, ok := group.m[k]
-			if !ok {
-				fail("%s: missing %q", group.name, k)
-			} else if !(v > 0) || math.IsInf(v, 0) {
-				fail("%s[%q] = %v, want positive finite", group.name, k, v)
-			}
-		}
-	}
-
-	// Trace-tier sanity: the trace_chain8 number must actually have
-	// measured superblocks, and the tier must pay off on its target
-	// workload. These are hardware-relative and hold on any machine.
-	if s.Trace.Formed == 0 {
-		fail("trace.formed = 0: chain8 never promoted to a superblock")
-	}
-	if s.Trace.Dispatches == 0 {
-		fail("trace.dispatches = 0: superblock never ran")
-	}
-	if s.Trace.AvgLen < 2 || s.Trace.AvgLen > 16 {
-		fail("trace.avg_len = %.2f, want within [2, 16]", s.Trace.AvgLen)
-	}
-	if s.Trace.SideExitRate < 0 || s.Trace.SideExitRate > 1 {
-		fail("trace.side_exit_rate = %.3f, want within [0, 1]", s.Trace.SideExitRate)
-	}
-	bc, tc := s.NsPerInstr["block_chain8"], s.NsPerInstr["trace_chain8"]
-	if bc > 0 && tc > 0 && tc >= bc {
-		fail("trace_chain8 %.2f ns/instr >= block_chain8 %.2f: superblocks are not paying off", tc, bc)
-	}
-
-	if strict {
-		// Acceptance floors for the committed snapshot. -validate only
-		// re-reads recorded values, so these hold on any machine — but a
-		// fresh *quick* snapshot from a loaded CI box may legitimately
-		// miss them, hence -strict=false for regenerated smoke files.
-		if bc > 0 && tc > 0 && tc > bc/2 {
-			fail("trace_chain8 %.2f ns/instr > half of block_chain8 %.2f, want a >=2x superblock speedup", tc, bc)
-		}
-		best := math.Max(s.ExecsPerSec["fuzz_micro"], s.ExecsPerSec["fuzz_parser"])
-		if best < 1e6 {
-			fail("best no-policy fuzz cell %.0f execs/sec, want >= 1000000", best)
-		}
-		if tc > 5.9 {
-			fail("trace_chain8 %.2f ns/instr, want <= 5.9", tc)
-		}
-	}
-
-	if len(errs) > 0 {
-		return fmt.Errorf("%s:\n  %s", path, strings.Join(errs, "\n  "))
-	}
-	return nil
-}
-
-// validateProfiles checks a BENCH_profiles.json snapshot: shape, one
-// positive finite cell per known layout profile, and — under -strict — a
-// generous absolute throughput floor plus a bounded cross-profile spread
-// (layout is configuration, not a hot-path cost, so no profile may run at
-// less than a quarter of the fastest).
-func validateProfiles(path string, b []byte, strict bool) error {
-	var s ProfilesSnapshot
-	dec := json.NewDecoder(strings.NewReader(string(b)))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	var errs []string
-	fail := func(format string, args ...any) {
-		errs = append(errs, fmt.Sprintf(format, args...))
-	}
-	if s.Schema != schemaVersion {
-		fail("schema %d, want %d", s.Schema, schemaVersion)
-	}
-	if s.Tool != "benchsnap-profiles" {
-		fail("tool %q, want benchsnap-profiles", s.Tool)
-	}
-	if s.Counts.FuzzExecs <= 0 {
-		fail("non-positive fuzz_execs: %d", s.Counts.FuzzExecs)
-	}
-	best := 0.0
-	for _, name := range layout.Names() {
-		v, ok := s.ExecsPerSec[name]
-		if !ok {
-			fail("execs_per_sec: missing profile %q", name)
-		} else if !(v > 0) || math.IsInf(v, 0) {
-			fail("execs_per_sec[%q] = %v, want positive finite", name, v)
-		} else if v > best {
-			best = v
-		}
-	}
-	for name := range s.ExecsPerSec {
-		if _, err := layout.ByName(name); err != nil {
-			fail("execs_per_sec: unknown profile %q", name)
-		}
-	}
-	if strict && best > 0 {
-		if best < 2e5 {
-			fail("best profile cell %.0f execs/sec, want >= 200000", best)
-		}
-		for name, v := range s.ExecsPerSec {
-			if v > 0 && v < best/4 {
-				fail("profile %q %.0f execs/sec < quarter of best %.0f: layout should not cost throughput", name, v, best)
-			}
-		}
-	}
-	if len(errs) > 0 {
-		return fmt.Errorf("%s:\n  %s", path, strings.Join(errs, "\n  "))
-	}
-	return nil
-}

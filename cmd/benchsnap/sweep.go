@@ -9,70 +9,25 @@ package main
 // trials/sec plus the build-cache and warm/cold counters that prove the
 // number was produced by the cached pipeline, and freezes the measured
 // speedup of the cached t1 grid over the same grid with the cache layer
-// disabled and warm reuse stripped (the pre-cache pipeline).
+// disabled and warm reuse stripped (the pre-cache pipeline). The
+// on-disk schema and validator live in internal/runlog/benchfmt.
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"math"
 	"runtime"
-	"strings"
 	"time"
 
 	"softsec/internal/buildcache"
 	"softsec/internal/core"
 	"softsec/internal/harness"
+	"softsec/internal/runlog/benchfmt"
 	"softsec/internal/telemetry"
 )
 
-// decodeStrict unmarshals with unknown fields rejected — the shared
-// shape check of every snapshot validator.
-func decodeStrict(b []byte, v any) error {
-	dec := json.NewDecoder(bytes.NewReader(b))
-	dec.DisallowUnknownFields()
-	return dec.Decode(v)
-}
-
-func joinErrs(errs []string) string { return strings.Join(errs, "\n  ") }
-
-// sweepGrids are the groups a sweep snapshot measures, in order.
-var sweepGrids = []string{"t1", "cfi", "t1p"}
-
-// SweepSnapshot is the on-disk format of -sweep mode (BENCH_sweep.json).
-type SweepSnapshot struct {
-	Schema int    `json:"schema"`
-	Tool   string `json:"tool"`
-	Quick  bool   `json:"quick,omitempty"`
-	Counts struct {
-		// Trials per scenario and worker-pool width of every grid run.
-		Trials int `json:"trials"`
-		Jobs   int `json:"jobs"`
-	} `json:"counts"`
-	// Grids holds one entry per measured group (t1, cfi, t1p), plus
-	// "t1-uncached": the t1 grid re-run with the build cache disabled
-	// and warm reuse stripped — the pre-cache pipeline the speedup is
-	// measured against.
-	Grids map[string]SweepGrid `json:"grids"`
-	// CacheSpeedupT1 = t1 trials/sec over t1-uncached trials/sec.
-	CacheSpeedupT1 float64 `json:"cache_speedup_t1"`
-}
-
-// SweepGrid is one grid's throughput cell.
-type SweepGrid struct {
-	Scenarios      int     `json:"scenarios"`
-	TrialsPerSec   float64 `json:"trials_per_sec"`
-	CacheHits      uint64  `json:"cache_hits"`
-	CacheMisses    uint64  `json:"cache_misses"`
-	CacheEvictions uint64  `json:"cache_evictions"`
-	WarmRestores   int     `json:"warm_restores"`
-	ColdLoads      int     `json:"cold_loads"`
-}
-
 // measureSweep times every grid with identical budgets and the t1
 // uncached reference.
-func measureSweep(quick bool, reg *telemetry.Registry) (*SweepSnapshot, error) {
-	s := &SweepSnapshot{Schema: schemaVersion, Tool: "benchsnap-sweep", Quick: quick}
+func measureSweep(quick bool, reg *telemetry.Registry) (*benchfmt.SweepSnapshot, error) {
+	s := &benchfmt.SweepSnapshot{Schema: benchfmt.SchemaVersion, Tool: benchfmt.ToolSweep, Quick: quick}
 	// Enough trials per cell that the one-time toolchain misses amortize
 	// the way they do in a real sweep (the motivating workloads run
 	// hundreds of trials per cell).
@@ -81,13 +36,13 @@ func measureSweep(quick bool, reg *telemetry.Registry) (*SweepSnapshot, error) {
 		s.Counts.Trials = 4
 	}
 	s.Counts.Jobs = runtime.NumCPU()
-	s.Grids = map[string]SweepGrid{}
+	s.Grids = map[string]benchfmt.SweepGrid{}
 
 	catalog := harness.NewRegistry()
 	if err := core.RegisterScenarios(catalog); err != nil {
 		return nil, err
 	}
-	for _, g := range sweepGrids {
+	for _, g := range benchfmt.SweepGrids {
 		scs := catalog.Group(g)
 		if len(scs) == 0 {
 			return nil, fmt.Errorf("grid %s: no scenarios", g)
@@ -118,17 +73,17 @@ func measureSweep(quick bool, reg *telemetry.Registry) (*SweepSnapshot, error) {
 // timeSweep runs one grid and reads the run's cache and warm counters
 // (harness.Run resets the build caches at start, so TotalStats after
 // the run describes exactly this run).
-func timeSweep(scs []harness.Scenario, trials, jobs int) (SweepGrid, error) {
+func timeSweep(scs []harness.Scenario, trials, jobs int) (benchfmt.SweepGrid, error) {
 	start := time.Now()
 	rep := harness.Run(scs, harness.Options{Trials: trials, Jobs: jobs, BaseSeed: 1})
 	elapsed := time.Since(start).Seconds()
 	for _, c := range rep.Cells {
 		if c.Errors > 0 {
-			return SweepGrid{}, fmt.Errorf("cell %s: %d trial errors (%s)", c.Scenario, c.Errors, c.FirstError)
+			return benchfmt.SweepGrid{}, fmt.Errorf("cell %s: %d trial errors (%s)", c.Scenario, c.Errors, c.FirstError)
 		}
 	}
 	st := buildcache.TotalStats()
-	return SweepGrid{
+	return benchfmt.SweepGrid{
 		Scenarios:      len(scs),
 		TrialsPerSec:   float64(len(scs)*trials) / elapsed,
 		CacheHits:      st.Hits,
@@ -147,76 +102,4 @@ func stripWarm(scs []harness.Scenario) []harness.Scenario {
 		out[i].Warm = nil
 	}
 	return out
-}
-
-// validateSweep checks a BENCH_sweep.json snapshot: shape, positive
-// finite throughput per grid, cache counters consistent with each
-// grid's pipeline (active caching on the measured grids, none on the
-// uncached reference), and — under -strict — the acceptance floor the
-// build-cache layer ships with: the cached t1 grid at ≥5× the uncached
-// pipeline. The floor is a ratio of two numbers measured on the same
-// machine in the same run, so it holds anywhere.
-func validateSweep(path string, b []byte, strict bool) error {
-	var s SweepSnapshot
-	if err := decodeStrict(b, &s); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
-	}
-	var errs []string
-	fail := func(format string, args ...any) {
-		errs = append(errs, fmt.Sprintf(format, args...))
-	}
-	if s.Schema != schemaVersion {
-		fail("schema %d, want %d", s.Schema, schemaVersion)
-	}
-	if s.Tool != "benchsnap-sweep" {
-		fail("tool %q, want benchsnap-sweep", s.Tool)
-	}
-	if s.Counts.Trials <= 0 || s.Counts.Jobs <= 0 {
-		fail("non-positive counts: %+v", s.Counts)
-	}
-	for _, g := range sweepGrids {
-		cell, ok := s.Grids[g]
-		if !ok {
-			fail("grids: missing %q", g)
-			continue
-		}
-		if cell.Scenarios <= 0 {
-			fail("grids[%q].scenarios = %d, want positive", g, cell.Scenarios)
-		}
-		if !(cell.TrialsPerSec > 0) || math.IsInf(cell.TrialsPerSec, 0) {
-			fail("grids[%q].trials_per_sec = %v, want positive finite", g, cell.TrialsPerSec)
-		}
-		if cell.CacheMisses == 0 || cell.CacheHits == 0 {
-			fail("grids[%q]: cache hits=%d misses=%d, want both non-zero (was the cache layer on?)", g, cell.CacheHits, cell.CacheMisses)
-		}
-		if cell.WarmRestores == 0 {
-			fail("grids[%q].warm_restores = 0, want warm-served trials", g)
-		}
-	}
-	un, ok := s.Grids["t1-uncached"]
-	if !ok {
-		fail("grids: missing %q", "t1-uncached")
-	} else {
-		if !(un.TrialsPerSec > 0) || math.IsInf(un.TrialsPerSec, 0) {
-			fail("grids[%q].trials_per_sec = %v, want positive finite", "t1-uncached", un.TrialsPerSec)
-		}
-		if un.CacheHits != 0 || un.CacheMisses != 0 || un.WarmRestores != 0 {
-			fail("t1-uncached ran with caching active (hits=%d misses=%d warm=%d)", un.CacheHits, un.CacheMisses, un.WarmRestores)
-		}
-	}
-	if t1, ok := s.Grids["t1"]; ok && un.TrialsPerSec > 0 {
-		ratio := t1.TrialsPerSec / un.TrialsPerSec
-		if math.Abs(ratio-s.CacheSpeedupT1) > 1e-6*ratio {
-			fail("cache_speedup_t1 %.4f inconsistent with grids ratio %.4f", s.CacheSpeedupT1, ratio)
-		}
-	}
-	if strict {
-		if s.CacheSpeedupT1 < 5 {
-			fail("cache_speedup_t1 %.2f, want >= 5x over the uncached pipeline", s.CacheSpeedupT1)
-		}
-	}
-	if len(errs) > 0 {
-		return fmt.Errorf("%s:\n  %s", path, joinErrs(errs))
-	}
-	return nil
 }

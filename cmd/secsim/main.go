@@ -127,7 +127,10 @@ func main() {
 		Profile:     sweep.Profile,
 	}
 
-	if sweep.Trials > 1 || sweep.JSON {
+	// -runlog implies sweep mode: run records are per-sweep artifacts
+	// (report + merged metrics), so a single trial runs as a 1-trial
+	// sweep rather than growing a second record shape.
+	if sweep.Trials > 1 || sweep.JSON || sweep.RunLog != "" {
 		runSweep(*spec, m, &sweep)
 		return
 	}

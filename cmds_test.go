@@ -1,6 +1,7 @@
 package softsec
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -15,7 +16,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, tool := range []string{"minc", "smasm", "secsim", "figures", "attacklab", "benchsnap"} {
+	for _, tool := range []string{"minc", "smasm", "secsim", "figures", "attacklab", "benchsnap", "rundiff"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
 		out, err := cmd.CombinedOutput()
 		if err != nil {
@@ -23,6 +24,27 @@ func buildTools(t *testing.T) string {
 		}
 	}
 	return bin
+}
+
+// runToolStd is runTool with stdout and stderr captured separately —
+// for the byte-identity checks where stdout must stay pure report
+// output while progress lines and ledger notices land on stderr.
+func runToolStd(t *testing.T, bin, tool string, wantExit int, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, tool), args...)
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s%s", tool, args, err, so.String(), se.String())
+	}
+	if exit != wantExit {
+		t.Fatalf("%s %v: exit %d, want %d\n%s%s", tool, args, exit, wantExit, so.String(), se.String())
+	}
+	return so.String(), se.String()
 }
 
 func runTool(t *testing.T, bin, tool string, wantExit int, args ...string) string {
@@ -377,6 +399,101 @@ main:
 			if !strings.Contains(out, want) {
 				t.Fatalf("cfi grid missing %s:\n%s", want, out)
 			}
+		}
+	})
+
+	runs := filepath.Join(work, "runs")
+	t.Run("runlog and progress are strictly observational", func(t *testing.T) {
+		// The determinism contract extended to the new observability
+		// layer: report and metrics bytes are identical at any -jobs
+		// width, with live progress on or off, with the run ledger on or
+		// off. Stdout stays pure report JSON — progress lines and the
+		// ledger notice go to stderr.
+		m1 := filepath.Join(work, "runlog_m1.json")
+		m4 := filepath.Join(work, "runlog_m4.json")
+		args := []string{"-scenario", "fuzz/echo/none", "-trials", "2", "-json"}
+		out1, _ := runToolStd(t, bin, "secsim", 0, append(args,
+			"-jobs", "1", "-metrics", m1, "-runlog", runs, "-progress=off")...)
+		out4, err4 := runToolStd(t, bin, "secsim", 0, append(args,
+			"-jobs", "4", "-metrics", m4, "-runlog", runs, "-progress=on")...)
+		outPlain, _ := runToolStd(t, bin, "secsim", 0, args...)
+		if out1 != out4 {
+			t.Fatalf("report bytes differ between jobs 1 and 4:\n%s\nvs\n%s", out1, out4)
+		}
+		if out1 != outPlain {
+			t.Fatalf("report bytes differ with -runlog on vs off:\n%s\nvs\n%s", out1, outPlain)
+		}
+		b1, err := os.ReadFile(m1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b4, err := os.ReadFile(m4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b4) {
+			t.Fatalf("metrics bytes differ between jobs 1 and 4:\n%s\nvs\n%s", b1, b4)
+		}
+		// The env fingerprint rides the quarantined wall section.
+		if !strings.Contains(string(b1), "env.go_version") {
+			t.Fatalf("metrics missing env fingerprint:\n%s", b1)
+		}
+		for _, want := range []string{"runlog: appended run 2", "trials/s", "in "} {
+			if !strings.Contains(err4, want) {
+				t.Fatalf("stderr missing %q:\n%s", want, err4)
+			}
+		}
+	})
+	t.Run("rundiff clean runs and regression gate", func(t *testing.T) {
+		// The two ledger appends above were byte-identical experiments.
+		out := runTool(t, bin, "rundiff", 0, "-dir", runs)
+		for _, want := range []string{"deterministic content identical", "clean"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("rundiff output missing %q:\n%s", want, out)
+			}
+		}
+		// An unmeetable throughput floor must gate (exit 1): identical
+		// runs sit at a ratio near 1, far below a 1000x floor.
+		out = runTool(t, bin, "rundiff", 1, "-dir", runs,
+			"-floor", "trials_per_sec=1000")
+		if !strings.Contains(out, "REGRESSION") {
+			t.Fatalf("rundiff output missing regression:\n%s", out)
+		}
+		// A perturbed seed is a different experiment: new content key,
+		// and the config diff names the input that moved.
+		runToolStd(t, bin, "secsim", 0, "-scenario", "fuzz/echo/none",
+			"-trials", "2", "-json", "-seed", "99", "-runlog", runs)
+		out = runTool(t, bin, "rundiff", 0, "-dir", runs, "last~1", "last")
+		for _, want := range []string{"different experiments", "seed: 42 -> 99"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("rundiff output missing %q:\n%s", want, out)
+			}
+		}
+		out = runTool(t, bin, "rundiff", 0, "-dir", runs, "-list")
+		if !strings.Contains(out, "fuzz/echo/none") {
+			t.Fatalf("rundiff -list output:\n%s", out)
+		}
+		// The record files carry the runlog-record tool tag, so the
+		// unified validator dispatches them too.
+		rec := filepath.Join(runs, "records", "000001.json")
+		out = runTool(t, bin, "benchsnap", 0, "-validate", "-f", rec)
+		if !strings.Contains(out, "ok") {
+			t.Fatalf("record validation:\n%s", out)
+		}
+	})
+	t.Run("benchsnap appends bench records", func(t *testing.T) {
+		bruns := filepath.Join(work, "bench_runs")
+		snap := filepath.Join(work, "bench_rl.json")
+		_, errOut := runToolStd(t, bin, "benchsnap", 0, "-quick", "-o", snap, "-runlog", bruns)
+		if !strings.Contains(errOut, "runlog: appended run 1") {
+			t.Fatalf("benchsnap stderr:\n%s", errOut)
+		}
+		runToolStd(t, bin, "benchsnap", 0, "-quick", "-o", snap, "-runlog", bruns)
+		// Two bench runs of the same budgets: same experiment, wall
+		// numbers compared as ratios.
+		out := runTool(t, bin, "rundiff", 0, "-dir", bruns)
+		if !strings.Contains(out, "trace.ns_per_instr.trace_chain8") {
+			t.Fatalf("rundiff bench output:\n%s", out)
 		}
 	})
 }

@@ -214,6 +214,30 @@ func TotalStats() Stats {
 	return t
 }
 
+// PublishCounters exports the cache counters through count, the
+// signature of telemetry.Registry.Count: the aggregate under
+// buildcache.{hits,misses,evictions} and every per-cache breakdown
+// under buildcache.<name>.{hits,misses,evictions}. Zero values are
+// passed through (Count skips them), so a disabled or idle cache layer
+// publishes no keys at all. Lookups are counted only on per-trial code
+// paths under singleflight, so every exported value is invariant
+// across -jobs widths — run records can carry them verbatim and
+// cross-run diffs of the counters are meaningful.
+func PublishCounters(count func(name string, v uint64)) {
+	var t Stats
+	Each(func(name string, s Stats) {
+		count("buildcache."+name+".hits", s.Hits)
+		count("buildcache."+name+".misses", s.Misses)
+		count("buildcache."+name+".evictions", s.Evictions)
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.Evictions += s.Evictions
+	})
+	count("buildcache.hits", t.Hits)
+	count("buildcache.misses", t.Misses)
+	count("buildcache.evictions", t.Evictions)
+}
+
 // Each visits every registered cache in name order with a counter
 // snapshot — the -cachestats listing.
 func Each(fn func(name string, s Stats)) {

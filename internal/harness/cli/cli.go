@@ -14,13 +14,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"softsec/internal/buildcache"
 	"softsec/internal/cpu"
 	"softsec/internal/harness"
 	"softsec/internal/layout"
+	"softsec/internal/runlog"
 )
 
 // Sweep holds the flag values shared by every harness-driven binary.
@@ -55,6 +58,21 @@ type Sweep struct {
 	// CacheStats prints the per-cache build-cache counters and the
 	// warm/cold trial mix after the run.
 	CacheStats bool
+
+	// Progress selects the live sweep renderer on stderr: "auto" (on
+	// only when stderr is a terminal — CI logs and JSON pipelines stay
+	// clean), "on", or "off". Strictly observational: report and
+	// metrics bytes are identical whatever the setting.
+	Progress string
+	// RunLog names a run-ledger directory (internal/runlog). When set,
+	// the sweep appends a content-addressed record — report, merged
+	// metrics, environment fingerprint, throughput — after the run, and
+	// telemetry collection is implied so there are counters to record.
+	RunLog string
+
+	// tool is the binary name stamped into run records, captured from
+	// the flag set at Register time.
+	tool string
 }
 
 // Register installs the shared sweep flags on fs with uniform names and
@@ -74,6 +92,9 @@ func (s *Sweep) Register(fs *flag.FlagSet, seedDefault int64) {
 	fs.StringVar(&s.EvTrace, "evtrace", "", "write engine events as Chrome trace_event JSON to this file")
 	fs.BoolVar(&s.EngineStats, "enginestats", false, "print block/trace engine counters after the run")
 	fs.BoolVar(&s.CacheStats, "cachestats", false, "print build-cache hit/miss counters and the warm/cold trial mix after the run")
+	fs.StringVar(&s.Progress, "progress", "auto", "live sweep progress on stderr: auto, on, or off (auto = only when stderr is a terminal)")
+	fs.StringVar(&s.RunLog, "runlog", "", "append this run's record (report, metrics, env, throughput) to this run-ledger directory (compare runs with rundiff)")
+	s.tool = filepath.Base(fs.Name())
 }
 
 // LayoutProfile resolves the -profile selection. It must be called after
@@ -108,6 +129,35 @@ func (s *Sweep) Options() harness.Options {
 	}
 }
 
+// progressConfig resolves the -progress selection into an engine
+// renderer config (nil means off).
+func (s *Sweep) progressConfig() (*harness.Progress, error) {
+	tty := stderrIsTTY()
+	switch s.Progress {
+	case "off", "":
+		return nil, nil
+	case "auto":
+		if !tty {
+			return nil, nil
+		}
+	case "on":
+	default:
+		return nil, fmt.Errorf("unknown -progress %q (want auto, on, or off)", s.Progress)
+	}
+	label := s.Group
+	if label == "" {
+		label = "sweep"
+	}
+	return &harness.Progress{W: os.Stderr, TTY: tty, Label: label}, nil
+}
+
+// stderrIsTTY reports whether stderr is an interactive terminal — the
+// -progress auto probe.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
 // Select resolves the group selection against reg: the named group when
 // group is non-empty, every scenario otherwise. An unknown or empty
 // group is an error (the shared unknown-group behavior both binaries now
@@ -140,7 +190,24 @@ func (s *Sweep) PrintScenarios(w io.Writer, reg *harness.Registry) error {
 // report to w — JSON when -json was given, the rendered success-rate
 // table otherwise. The report is returned for exit-code decisions.
 func (s *Sweep) Run(w io.Writer, scs []harness.Scenario) (*harness.Report, error) {
-	rep := harness.Run(scs, s.Options())
+	opt := s.Options()
+	prog, err := s.progressConfig()
+	if err != nil {
+		return nil, err
+	}
+	opt.Progress = prog
+	start := time.Now()
+	rep := harness.Run(scs, opt)
+	elapsed := time.Since(start).Seconds()
+	if rep.Telemetry != nil {
+		// Self-describing metrics: the machine fingerprint rides in the
+		// quarantined wall section. Machine-invariant entries only, so
+		// metrics bytes stay identical at any -jobs width.
+		runlog.CaptureEnv(0).PublishWall(rep.Telemetry)
+	}
+	if err := s.appendRunLog(rep, scs, elapsed); err != nil {
+		return nil, err
+	}
 	if s.JSON {
 		b, err := rep.JSON()
 		if err != nil {
@@ -165,6 +232,54 @@ func (s *Sweep) Run(w io.Writer, scs []harness.Scenario) (*harness.Report, error
 	}
 	s.writeCacheStats(w, rep)
 	return rep, nil
+}
+
+// appendRunLog appends the sweep's record to the -runlog ledger: the
+// report bytes (the same bytes -json emits), the merged metrics, the
+// environment fingerprint, and the wall-clock throughput. The ledger
+// notice goes to stderr so stdout stays pure report output.
+func (s *Sweep) appendRunLog(rep *harness.Report, scs []harness.Scenario, elapsedSec float64) error {
+	if s.RunLog == "" {
+		return nil
+	}
+	st, err := runlog.Open(s.RunLog)
+	if err != nil {
+		return err
+	}
+	reportJSON, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	jobs := s.Jobs
+	if jobs < 1 {
+		jobs = runtime.NumCPU()
+	}
+	cfg := runlog.Config{
+		Tool: s.tool, Kind: runlog.KindSweep,
+		Group: s.Group, Trials: rep.Trials, Seed: s.Seed,
+		Engine: s.Engine, Profile: s.Profile,
+	}
+	if cfg.Group == "" && len(scs) == 1 {
+		cfg.Scenario = scs[0].Name
+	}
+	rec := &runlog.Record{
+		Config: cfg,
+		Env:    runlog.CaptureEnv(jobs),
+		Report: reportJSON,
+		Wall:   map[string]float64{"elapsed_sec": elapsedSec},
+	}
+	if rep.Telemetry != nil {
+		rec.Metrics = rep.Telemetry.File()
+	}
+	if elapsedSec > 0 {
+		rec.Wall["trials_per_sec"] = float64(rep.Trials*len(rep.Cells)) / elapsedSec
+	}
+	e, err := st.Append(rec)
+	if err != nil {
+		return fmt.Errorf("runlog: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "runlog: appended run %d (%s) to %s\n", e.Seq, e.ID, s.RunLog)
+	return nil
 }
 
 // writeCacheStats renders the -cachestats listing: one line per build

@@ -21,9 +21,10 @@ import (
 // nil (collection off, the zero-overhead default) when none was given.
 // -guestprof turns the deterministic profiler on; -evtrace the event
 // ring; -metrics and -enginestats need only counters, which every
-// non-nil spec collects.
+// non-nil spec collects. -runlog implies collection too: a run record
+// without its counters could not be diffed.
 func (s *Sweep) TelemetrySpec() *telemetry.Spec {
-	if s.Metrics == "" && s.GuestProf == "" && s.EvTrace == "" && !s.EngineStats {
+	if s.Metrics == "" && s.GuestProf == "" && s.EvTrace == "" && !s.EngineStats && s.RunLog == "" {
 		return nil
 	}
 	return &telemetry.Spec{

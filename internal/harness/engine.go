@@ -25,6 +25,11 @@ type Options struct {
 	// Telemetry, when non-nil, asks every trial to collect metrics and
 	// makes Run merge them into Report.Telemetry.
 	Telemetry *telemetry.Spec
+	// Progress, when non-nil, streams live completion/throughput/ETA
+	// lines to Progress.W while the pool drains. Strictly
+	// observational: the report and metrics are byte-identical with it
+	// on or off.
+	Progress *Progress
 }
 
 // CellStats aggregates the trials of one scenario.
@@ -89,6 +94,8 @@ func Run(scenarios []Scenario, opt Options) *Report {
 	// process (the jobs-1-vs-N determinism tests) see identical ones.
 	buildcache.ResetAll()
 
+	prog := startProgress(opt.Progress, len(scenarios), trials)
+
 	type unit struct{ si, ti int }
 	work := make(chan unit, jobs)
 	var wg sync.WaitGroup
@@ -107,6 +114,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 					Telemetry: opt.Telemetry,
 				}
 				results[u.si][u.ti] = ws.runUnit(s, u.si, t)
+				prog.trialDone(u.si)
 			}
 		}(&workers[w])
 	}
@@ -117,6 +125,7 @@ func Run(scenarios []Scenario, opt Options) *Report {
 	}
 	close(work)
 	wg.Wait()
+	prog.finish()
 
 	rep := &Report{BaseSeed: opt.BaseSeed, Trials: trials, Results: results}
 	for i := range workers {
@@ -175,15 +184,13 @@ func Run(scenarios []Scenario, opt Options) *Report {
 			}
 		}
 		// Cache observability: how the run's builds and loads were
-		// served. Warm eligibility is static per cell and cache lookups
-		// happen only on per-trial paths under singleflight, so all of
-		// these are invariant across -jobs widths; with the cache layer
-		// disabled the buildcache counters are zero and (Count skips
-		// zeros) the keys are simply absent.
-		st := buildcache.TotalStats()
-		reg.Count("buildcache.hits", st.Hits)
-		reg.Count("buildcache.misses", st.Misses)
-		reg.Count("buildcache.evictions", st.Evictions)
+		// served, as the aggregate plus per-cache breakdowns. Warm
+		// eligibility is static per cell and cache lookups happen only
+		// on per-trial paths under singleflight, so all of these are
+		// invariant across -jobs widths; with the cache layer disabled
+		// the buildcache counters are zero and (Count skips zeros) the
+		// keys are simply absent.
+		buildcache.PublishCounters(reg.Count)
 		reg.Count("harness.warm_restores", uint64(rep.WarmRestores))
 		reg.Count("harness.cold_loads", uint64(rep.ColdLoads))
 		rep.Telemetry = reg

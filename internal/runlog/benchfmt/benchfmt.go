@@ -1,0 +1,393 @@
+// Package benchfmt is the shared schema of the machine-readable
+// BENCH_*.json performance snapshots. cmd/benchsnap historically grew
+// one ad-hoc validator per snapshot kind (the trace-tier cells, the
+// per-layout-profile throughput file, the sweep-throughput file), each
+// with its own decode loop and shape checks inside the command; this
+// package owns the on-disk types and validation for all of them, plus
+// the telemetry-metrics dispatch, so every consumer — benchsnap
+// -validate, the run-ledger record embedding, CI, tests — checks the
+// same schema with the same rules.
+//
+// Validate dispatches on the snapshot's "tool" tag. The strict flag
+// additionally enforces the absolute acceptance floors the committed
+// snapshots ship with (trace speedup, fuzz throughput, cache speedup);
+// quick snapshots regenerated on loaded CI machines validate with
+// strict=false, which keeps only the machine-independent sanity checks.
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"softsec/internal/layout"
+	"softsec/internal/telemetry"
+)
+
+// SchemaVersion versions every benchsnap snapshot kind.
+const SchemaVersion = 1
+
+// Tool tags the validator dispatches on.
+const (
+	ToolTrace    = "benchsnap"
+	ToolProfiles = "benchsnap-profiles"
+	ToolSweep    = "benchsnap-sweep"
+)
+
+// ErrUnknownTool reports a file whose tool tag names no known snapshot
+// kind; callers layering more kinds on top (the run-ledger record)
+// detect it with errors.Is.
+var ErrUnknownTool = errors.New("unknown snapshot tool tag")
+
+// Snapshot is the trace-tier snapshot (BENCH_trace.json): ns/instr per
+// execution tier, fuzz campaign throughput, snapshot-restore cost, and
+// the superblock counters proving the trace cell measured traces.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool"`
+	Quick  bool   `json:"quick,omitempty"`
+	Counts struct {
+		ChainInstrs   int `json:"chain_instrs"`
+		FuzzExecs     int `json:"fuzz_execs"`
+		RestoreCycles int `json:"restore_cycles"`
+	} `json:"counts"`
+	// NsPerInstr: step_loop, block_loop, block_chain8, trace_chain8.
+	NsPerInstr map[string]float64 `json:"ns_per_instr"`
+	// ExecsPerSec: fuzz_micro, fuzz_parser, fuzz_cfi_coarse, fuzz_cfi_fine.
+	ExecsPerSec map[string]float64 `json:"execs_per_sec"`
+	// NsPerOp: snapshot_restore.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Trace   TraceSummary       `json:"trace"`
+}
+
+// TraceSummary records the trace-tier counters of the chain8 run — the
+// proof that the trace_chain8 number actually measured superblocks.
+type TraceSummary struct {
+	Formed       uint64            `json:"formed"`
+	Dispatches   uint64            `json:"dispatches"`
+	Completions  uint64            `json:"completions"`
+	LoopBacks    uint64            `json:"loopbacks"`
+	SideExits    uint64            `json:"side_exits"`
+	StaleExits   uint64            `json:"stale_exits"`
+	AvgLen       float64           `json:"avg_len"`
+	SideExitRate float64           `json:"side_exit_rate"`
+	LenHist      map[string]uint64 `json:"len_hist"`
+}
+
+// ProfilesSnapshot is the per-layout-profile throughput snapshot
+// (BENCH_profiles.json): fuzz-campaign throughput of the echo victim on
+// every machine layout profile (internal/layout). The cell answers
+// "does parameterizing frame geometry and segment placement cost
+// simulator throughput?" — the profiles differ only in layout, so any
+// spread beyond noise would mean profile-dependent code on a hot path.
+type ProfilesSnapshot struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool"`
+	Quick  bool   `json:"quick,omitempty"`
+	Counts struct {
+		FuzzExecs int `json:"fuzz_execs"`
+	} `json:"counts"`
+	// ExecsPerSec keys are layout profile names.
+	ExecsPerSec map[string]float64 `json:"execs_per_sec"`
+}
+
+// SweepGrids are the groups a sweep snapshot measures, in order.
+var SweepGrids = []string{"t1", "cfi", "t1p"}
+
+// SweepSnapshot is the sweep-throughput snapshot (BENCH_sweep.json):
+// full-pipeline harness trials/sec over the attack grids, with the
+// build-cache and warm/cold counters that prove the numbers were
+// produced by the cached pipeline.
+type SweepSnapshot struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool"`
+	Quick  bool   `json:"quick,omitempty"`
+	Counts struct {
+		// Trials per scenario and worker-pool width of every grid run.
+		Trials int `json:"trials"`
+		Jobs   int `json:"jobs"`
+	} `json:"counts"`
+	// Grids holds one entry per measured group (t1, cfi, t1p), plus
+	// "t1-uncached": the t1 grid re-run with the build cache disabled
+	// and warm reuse stripped — the pre-cache pipeline the speedup is
+	// measured against.
+	Grids map[string]SweepGrid `json:"grids"`
+	// CacheSpeedupT1 = t1 trials/sec over t1-uncached trials/sec.
+	CacheSpeedupT1 float64 `json:"cache_speedup_t1"`
+}
+
+// SweepGrid is one grid's throughput cell.
+type SweepGrid struct {
+	Scenarios      int     `json:"scenarios"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	WarmRestores   int     `json:"warm_restores"`
+	ColdLoads      int     `json:"cold_loads"`
+}
+
+// decodeStrict unmarshals with unknown fields rejected — the shared
+// shape check of every snapshot validator.
+func decodeStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Marshal serializes a snapshot the way benchsnap writes it: indented,
+// trailing newline. Committed snapshots round-trip byte-for-byte
+// through their typed struct and Marshal — the property the schema
+// test pins so a field rename or reorder cannot silently diverge the
+// committed files from the package types.
+func Marshal(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// PeekTool returns the "tool" tag of a snapshot file.
+func PeekTool(data []byte) (string, error) {
+	var peek struct {
+		Tool string `json:"tool"`
+	}
+	if err := json.Unmarshal(data, &peek); err != nil {
+		return "", err
+	}
+	return peek.Tool, nil
+}
+
+// Validate dispatches a snapshot file to its kind's validator by tool
+// tag: the three benchsnap kinds and telemetry-metrics files. Unknown
+// tags return ErrUnknownTool (wrapped), so callers can layer further
+// kinds on top.
+func Validate(data []byte, strict bool) error {
+	tool, err := PeekTool(data)
+	if err != nil {
+		return err
+	}
+	switch tool {
+	case ToolTrace, "":
+		// No tag defaults to the trace kind — the original snapshot
+		// format predates tool tags, and a wrong-kind file should fail
+		// its own schema, not an opaque unknown-tool error.
+		return ValidateTrace(data, strict)
+	case ToolProfiles:
+		return ValidateProfiles(data, strict)
+	case ToolSweep:
+		return ValidateSweep(data, strict)
+	case telemetry.MetricsTool:
+		return telemetry.ValidateMetrics(data)
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownTool, tool)
+}
+
+// errList collects shape failures so a broken snapshot reports every
+// problem at once.
+type errList []string
+
+func (e *errList) fail(format string, args ...any) {
+	*e = append(*e, fmt.Sprintf(format, args...))
+}
+
+func (e errList) err() error {
+	if len(e) == 0 {
+		return nil
+	}
+	return errors.New(strings.Join(e, "\n  "))
+}
+
+// ValidateTrace checks a BENCH_trace.json snapshot: schema and shape,
+// positive finite metrics, trace-tier sanity (a trace actually formed
+// and beats the block tier on the chain workload), and — under strict —
+// the acceptance floors (a ≥2× superblock speedup, a no-policy fuzz
+// cell at ≥1M execs/sec, trace chain ≤ 5.9 ns/instr).
+func ValidateTrace(data []byte, strict bool) error {
+	var s Snapshot
+	if err := decodeStrict(data, &s); err != nil {
+		return err
+	}
+	var errs errList
+	if s.Schema != SchemaVersion {
+		errs.fail("schema %d, want %d", s.Schema, SchemaVersion)
+	}
+	if s.Counts.ChainInstrs <= 0 || s.Counts.FuzzExecs <= 0 || s.Counts.RestoreCycles <= 0 {
+		errs.fail("non-positive work counts: %+v", s.Counts)
+	}
+	for _, group := range []struct {
+		name string
+		m    map[string]float64
+		keys []string
+	}{
+		{"ns_per_instr", s.NsPerInstr, []string{"step_loop", "block_loop", "block_chain8", "trace_chain8"}},
+		{"execs_per_sec", s.ExecsPerSec, []string{"fuzz_micro", "fuzz_parser", "fuzz_cfi_coarse", "fuzz_cfi_fine"}},
+		{"ns_per_op", s.NsPerOp, []string{"snapshot_restore"}},
+	} {
+		for _, k := range group.keys {
+			v, ok := group.m[k]
+			if !ok {
+				errs.fail("%s: missing %q", group.name, k)
+			} else if !(v > 0) || math.IsInf(v, 0) {
+				errs.fail("%s[%q] = %v, want positive finite", group.name, k, v)
+			}
+		}
+	}
+
+	// Trace-tier sanity: the trace_chain8 number must actually have
+	// measured superblocks, and the tier must pay off on its target
+	// workload. These are hardware-relative and hold on any machine.
+	if s.Trace.Formed == 0 {
+		errs.fail("trace.formed = 0: chain8 never promoted to a superblock")
+	}
+	if s.Trace.Dispatches == 0 {
+		errs.fail("trace.dispatches = 0: superblock never ran")
+	}
+	if s.Trace.AvgLen < 2 || s.Trace.AvgLen > 16 {
+		errs.fail("trace.avg_len = %.2f, want within [2, 16]", s.Trace.AvgLen)
+	}
+	if s.Trace.SideExitRate < 0 || s.Trace.SideExitRate > 1 {
+		errs.fail("trace.side_exit_rate = %.3f, want within [0, 1]", s.Trace.SideExitRate)
+	}
+	bc, tc := s.NsPerInstr["block_chain8"], s.NsPerInstr["trace_chain8"]
+	if bc > 0 && tc > 0 && tc >= bc {
+		errs.fail("trace_chain8 %.2f ns/instr >= block_chain8 %.2f: superblocks are not paying off", tc, bc)
+	}
+
+	if strict {
+		// Acceptance floors for the committed snapshot. Validation only
+		// re-reads recorded values, so these hold on any machine — but a
+		// fresh *quick* snapshot from a loaded CI box may legitimately
+		// miss them, hence strict=false for regenerated smoke files.
+		if bc > 0 && tc > 0 && tc > bc/2 {
+			errs.fail("trace_chain8 %.2f ns/instr > half of block_chain8 %.2f, want a >=2x superblock speedup", tc, bc)
+		}
+		best := math.Max(s.ExecsPerSec["fuzz_micro"], s.ExecsPerSec["fuzz_parser"])
+		if best < 1e6 {
+			errs.fail("best no-policy fuzz cell %.0f execs/sec, want >= 1000000", best)
+		}
+		if tc > 5.9 {
+			errs.fail("trace_chain8 %.2f ns/instr, want <= 5.9", tc)
+		}
+	}
+	return errs.err()
+}
+
+// ValidateProfiles checks a BENCH_profiles.json snapshot: shape, one
+// positive finite cell per known layout profile, and — under strict — a
+// generous absolute throughput floor plus a bounded cross-profile spread
+// (layout is configuration, not a hot-path cost, so no profile may run at
+// less than a quarter of the fastest).
+func ValidateProfiles(data []byte, strict bool) error {
+	var s ProfilesSnapshot
+	if err := decodeStrict(data, &s); err != nil {
+		return err
+	}
+	var errs errList
+	if s.Schema != SchemaVersion {
+		errs.fail("schema %d, want %d", s.Schema, SchemaVersion)
+	}
+	if s.Tool != ToolProfiles {
+		errs.fail("tool %q, want %s", s.Tool, ToolProfiles)
+	}
+	if s.Counts.FuzzExecs <= 0 {
+		errs.fail("non-positive fuzz_execs: %d", s.Counts.FuzzExecs)
+	}
+	best := 0.0
+	for _, name := range layout.Names() {
+		v, ok := s.ExecsPerSec[name]
+		if !ok {
+			errs.fail("execs_per_sec: missing profile %q", name)
+		} else if !(v > 0) || math.IsInf(v, 0) {
+			errs.fail("execs_per_sec[%q] = %v, want positive finite", name, v)
+		} else if v > best {
+			best = v
+		}
+	}
+	for name := range s.ExecsPerSec {
+		if _, err := layout.ByName(name); err != nil {
+			errs.fail("execs_per_sec: unknown profile %q", name)
+		}
+	}
+	if strict && best > 0 {
+		if best < 2e5 {
+			errs.fail("best profile cell %.0f execs/sec, want >= 200000", best)
+		}
+		for name, v := range s.ExecsPerSec {
+			if v > 0 && v < best/4 {
+				errs.fail("profile %q %.0f execs/sec < quarter of best %.0f: layout should not cost throughput", name, v, best)
+			}
+		}
+	}
+	return errs.err()
+}
+
+// ValidateSweep checks a BENCH_sweep.json snapshot: shape, positive
+// finite throughput per grid, cache counters consistent with each
+// grid's pipeline (active caching on the measured grids, none on the
+// uncached reference), and — under strict — the acceptance floor the
+// build-cache layer ships with: the cached t1 grid at ≥5× the uncached
+// pipeline. The floor is a ratio of two numbers measured on the same
+// machine in the same run, so it holds anywhere.
+func ValidateSweep(data []byte, strict bool) error {
+	var s SweepSnapshot
+	if err := decodeStrict(data, &s); err != nil {
+		return err
+	}
+	var errs errList
+	if s.Schema != SchemaVersion {
+		errs.fail("schema %d, want %d", s.Schema, SchemaVersion)
+	}
+	if s.Tool != ToolSweep {
+		errs.fail("tool %q, want %s", s.Tool, ToolSweep)
+	}
+	if s.Counts.Trials <= 0 || s.Counts.Jobs <= 0 {
+		errs.fail("non-positive counts: %+v", s.Counts)
+	}
+	for _, g := range SweepGrids {
+		cell, ok := s.Grids[g]
+		if !ok {
+			errs.fail("grids: missing %q", g)
+			continue
+		}
+		if cell.Scenarios <= 0 {
+			errs.fail("grids[%q].scenarios = %d, want positive", g, cell.Scenarios)
+		}
+		if !(cell.TrialsPerSec > 0) || math.IsInf(cell.TrialsPerSec, 0) {
+			errs.fail("grids[%q].trials_per_sec = %v, want positive finite", g, cell.TrialsPerSec)
+		}
+		if cell.CacheMisses == 0 || cell.CacheHits == 0 {
+			errs.fail("grids[%q]: cache hits=%d misses=%d, want both non-zero (was the cache layer on?)", g, cell.CacheHits, cell.CacheMisses)
+		}
+		if cell.WarmRestores == 0 {
+			errs.fail("grids[%q].warm_restores = 0, want warm-served trials", g)
+		}
+	}
+	un, ok := s.Grids["t1-uncached"]
+	if !ok {
+		errs.fail("grids: missing %q", "t1-uncached")
+	} else {
+		if !(un.TrialsPerSec > 0) || math.IsInf(un.TrialsPerSec, 0) {
+			errs.fail("grids[%q].trials_per_sec = %v, want positive finite", "t1-uncached", un.TrialsPerSec)
+		}
+		if un.CacheHits != 0 || un.CacheMisses != 0 || un.WarmRestores != 0 {
+			errs.fail("t1-uncached ran with caching active (hits=%d misses=%d warm=%d)", un.CacheHits, un.CacheMisses, un.WarmRestores)
+		}
+	}
+	if t1, ok := s.Grids["t1"]; ok && un.TrialsPerSec > 0 {
+		ratio := t1.TrialsPerSec / un.TrialsPerSec
+		if math.Abs(ratio-s.CacheSpeedupT1) > 1e-6*ratio {
+			errs.fail("cache_speedup_t1 %.4f inconsistent with grids ratio %.4f", s.CacheSpeedupT1, ratio)
+		}
+	}
+	if strict {
+		if s.CacheSpeedupT1 < 5 {
+			errs.fail("cache_speedup_t1 %.2f, want >= 5x over the uncached pipeline", s.CacheSpeedupT1)
+		}
+	}
+	return errs.err()
+}

@@ -1,0 +1,78 @@
+package benchfmt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedSnapshotsRoundTrip validates every committed BENCH_*.json
+// through the unified validator (strict — the committed numbers must
+// meet their acceptance floors on any machine) and round-trips each one
+// through its typed struct: decode, re-marshal, byte-compare. The
+// round-trip pins the schema package to the committed files — a field
+// rename, reorder, or type change that would diverge benchsnap's output
+// from the committed snapshots fails here, not in a later regeneration.
+func TestCommittedSnapshotsRoundTrip(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	for _, tc := range []struct {
+		file string
+		into func() any
+	}{
+		{"BENCH_trace.json", func() any { return &Snapshot{} }},
+		{"BENCH_profiles.json", func() any { return &ProfilesSnapshot{} }},
+		{"BENCH_sweep.json", func() any { return &SweepSnapshot{} }},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(root, tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(data, true); err != nil {
+				t.Fatalf("strict validation: %v", err)
+			}
+			v := tc.into()
+			if err := decodeStrict(data, v); err != nil {
+				t.Fatal(err)
+			}
+			out, err := Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("round-trip diverged from committed file:\n%s\nvs committed:\n%s", out, data)
+			}
+		})
+	}
+}
+
+// TestValidateDispatch: the tool tag routes to the right validator, and
+// unknown tags report ErrUnknownTool so callers can layer more kinds.
+func TestValidateDispatch(t *testing.T) {
+	if err := Validate([]byte(`{"tool": "martian"}`), false); !errors.Is(err, ErrUnknownTool) {
+		t.Fatalf("unknown tool: got %v, want ErrUnknownTool", err)
+	}
+	// A file of one kind must fail its own kind's schema, not an
+	// unrelated unknown-field error from another kind.
+	if err := Validate([]byte(`{"schema": 9, "tool": "benchsnap-sweep", "counts": {"trials": 1, "jobs": 1}}`), false); err == nil {
+		t.Fatal("wrong-schema sweep snapshot validated")
+	}
+	if err := Validate([]byte(`{"schema": 1, "tool": "telemetry-metrics", "counters": {}}`), false); err != nil {
+		t.Fatalf("metrics dispatch: %v", err)
+	}
+}
+
+// TestValidateTraceRejects exercises the shape checks the trace
+// validator inherits from its benchsnap-era predecessor.
+func TestValidateTraceRejects(t *testing.T) {
+	for name, bad := range map[string]string{
+		"bad schema":    `{"schema": 99, "tool": "benchsnap"}`,
+		"unknown field": `{"schema": 1, "tool": "benchsnap", "bogus": 1}`,
+	} {
+		if err := ValidateTrace([]byte(bad), false); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}

@@ -164,6 +164,7 @@ type Registry struct {
 	profile   map[string]uint64
 	timelines []Timeline
 	wall      map[string]float64
+	wallStr   map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -252,6 +253,21 @@ func (r *Registry) SetWall(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// SetWallString records one string-valued entry in the wall section —
+// the environment fingerprint (go version, GOOS/GOARCH) run records
+// embed so a metrics file is self-describing. Strings ride the same
+// quarantined "wall" key as timings: they describe the machine that
+// produced the file, never the simulated execution, so determinism
+// checks keep ignoring the section wholesale.
+func (r *Registry) SetWallString(name, v string) {
+	r.mu.Lock()
+	if r.wallStr == nil {
+		r.wallStr = make(map[string]string)
+	}
+	r.wallStr[name] = v
+	r.mu.Unlock()
+}
+
 // MetricsSchema versions the metrics file format; MetricsTool is the
 // tool tag validators dispatch on.
 const (
@@ -269,7 +285,9 @@ type MetricsFile struct {
 	Tool     string                       `json:"tool"`
 	Counters map[string]uint64            `json:"counters"`
 	Hists    map[string]map[string]uint64 `json:"hists,omitempty"`
-	Wall     map[string]float64           `json:"wall,omitempty"`
+	// Wall mixes float64 timings/rates and string environment entries
+	// (SetWall / SetWallString) under one quarantined key.
+	Wall map[string]any `json:"wall,omitempty"`
 }
 
 // File snapshots the registry into its serializable form.
@@ -294,9 +312,12 @@ func (r *Registry) File() *MetricsFile {
 			f.Hists[name] = hc
 		}
 	}
-	if len(r.wall) > 0 {
-		f.Wall = make(map[string]float64, len(r.wall))
+	if len(r.wall)+len(r.wallStr) > 0 {
+		f.Wall = make(map[string]any, len(r.wall)+len(r.wallStr))
 		for k, v := range r.wall {
+			f.Wall[k] = v
+		}
+		for k, v := range r.wallStr {
 			f.Wall[k] = v
 		}
 	}
